@@ -1,0 +1,48 @@
+//! Figure 15: PMJ sorting-step size δ sweep — the trade-off between early
+//! results (small δ, many runs to merge) and overall cost (large δ defeats
+//! eagerness). Static Micro, per-phase cycles per input tuple.
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_core::{execute, Algorithm};
+use iawj_common::{Phase, PHASES};
+use iawj_datagen::MicroSpec;
+use iawj_exec::NOMINAL_GHZ;
+
+const DELTAS: [f64; 5] = [0.10, 0.20, 0.30, 0.40, 0.50];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 15 — PMJ sorting step size (static Micro)", &env);
+    let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
+    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    for eager_merge in [false, true] {
+        println!(
+            "\n({}) {}",
+            if eager_merge { "b" } else { "a" },
+            if eager_merge {
+                "progressive per-run merging (ablation)"
+            } else {
+                "final merge phase (paper configuration)"
+            }
+        );
+        let mut rows = Vec::new();
+        for &delta in &DELTAS {
+            let mut cfg = env.config();
+            cfg.pmj.delta = delta;
+            cfg.pmj.eager_merge = eager_merge;
+            let res = execute(Algorithm::PmjJm, &ds, &cfg);
+            let per = 1.0 / res.total_inputs.max(1) as f64;
+            let mut row = vec![format!("{:.0}%", delta * 100.0)];
+            for phase in [Phase::Partition, Phase::BuildSort, Phase::Merge, Phase::Probe] {
+                row.push(fmt(res.breakdown.cycles(phase, NOMINAL_GHZ) * per));
+            }
+            let total: f64 = PHASES
+                .iter()
+                .map(|&p| res.breakdown.cycles(p, NOMINAL_GHZ) * per)
+                .sum();
+            row.push(fmt(total));
+            rows.push(row);
+        }
+        print_table(&["delta", "partition", "sort", "merge", "probe", "total"], &rows);
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 16: JB group size g sweep for PMJ^JB and SHJ^JB, with the JM
+//! scheme as the horizontal reference line. Static Micro, cycles per input
+//! tuple.
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_core::{execute, Algorithm};
+use iawj_datagen::MicroSpec;
+use iawj_exec::NOMINAL_GHZ;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 16 — JB group size (static Micro); last row = JM reference", &env);
+    let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
+    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    for (jb, jm, label) in [
+        (Algorithm::PmjJb, Algorithm::PmjJm, "PMJ"),
+        (Algorithm::ShjJb, Algorithm::ShjJm, "SHJ"),
+    ] {
+        println!("\n--- {label} ---");
+        let mut rows = Vec::new();
+        let mut g = 1usize;
+        while g <= env.threads {
+            if env.threads.is_multiple_of(g) {
+                let mut cfg = env.config();
+                cfg.jb.group_size = g;
+                let res = execute(jb, &ds, &cfg);
+                let per = 1.0 / res.total_inputs.max(1) as f64;
+                rows.push(vec![
+                    format!("g={g}"),
+                    fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+                    fmt(res.throughput_tpms()),
+                ]);
+            }
+            g *= 2;
+        }
+        let res = execute(jm, &ds, &env.config());
+        let per = 1.0 / res.total_inputs.max(1) as f64;
+        rows.push(vec![
+            "JM".into(),
+            fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+            fmt(res.throughput_tpms()),
+        ]);
+        print_table(&["config", "cycles/tuple", "tpt (t/ms)"], &rows);
+    }
+}

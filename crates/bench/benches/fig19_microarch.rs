@@ -1,0 +1,49 @@
+//! Figure 19: micro-architectural analysis on Rovio — (a) top-down-style
+//! cycle breakdown from the cache simulator and cost model, (b) memory
+//! consumption over time from the run-time gauges.
+
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_cachesim::CostModel;
+use iawj_core::output::aggregate_mem_curve;
+use iawj_core::{trace, Algorithm};
+use iawj_datagen::rovio;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 19 — micro-architectural analysis (Rovio)", &env);
+    let ds = rovio((env.scale * 0.5).min(0.02), 42);
+    let cfg = env.config();
+    let model = CostModel::default();
+
+    println!("\n(a) Top-down-style breakdown (% of modelled cycles)");
+    let mut rows = Vec::new();
+    for algo in Algorithm::STUDIED {
+        let p = trace::profile(algo, &ds, &cfg);
+        let (retiring, core, memory) = p.estimate(&model).percentages();
+        rows.push(vec![
+            algo.name().to_string(),
+            fmt(retiring),
+            fmt(core),
+            fmt(memory),
+        ]);
+    }
+    print_table(&["algo", "retiring%", "core-bound%", "memory-bound%"], &rows);
+
+    println!("\n(b) Memory consumption over time (peak bytes; sampled curve)");
+    let mut rows = Vec::new();
+    let mut mem_cfg = cfg.clone();
+    mem_cfg.mem_sample_every = 1024;
+    for algo in Algorithm::STUDIED {
+        let res = run(algo, &ds, &mem_cfg);
+        let curve = aggregate_mem_curve(&res.mem_samples, res.threads);
+        let peak = curve.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let final_b = curve.last().map(|&(_, b)| b).unwrap_or(0);
+        rows.push(vec![
+            algo.name().to_string(),
+            format!("{}", peak),
+            format!("{}", final_b),
+            curve.len().to_string(),
+        ]);
+    }
+    print_table(&["algo", "peak bytes", "final bytes", "samples"], &rows);
+}

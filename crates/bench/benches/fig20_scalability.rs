@@ -1,0 +1,33 @@
+//! Figure 20: multicore scalability of MPass (lazy) and SHJ^JM (eager) —
+//! throughput normalised to the single-thread run, 1..8 threads, all four
+//! workloads. (On hosts with fewer physical cores than threads, scaling
+//! flattens into time-slicing; EXPERIMENTS.md records the host.)
+
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_core::{Algorithm, RunConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 20 — multicore scalability (normalised throughput)", &env);
+    for algo in [Algorithm::MPass, Algorithm::ShjJm] {
+        println!("\n--- {} ---", algo.name());
+        let mut rows = Vec::new();
+        for ds in env.real_workloads() {
+            let mut base = 0.0f64;
+            let mut row = vec![ds.name.clone()];
+            for &t in &THREADS {
+                let cfg = RunConfig::with_threads(t).speedup(env.speedup);
+                let res = run(algo, &ds, &cfg);
+                let tpt = res.throughput_tpms();
+                if t == 1 {
+                    base = tpt.max(1e-9);
+                }
+                row.push(fmt(tpt / base));
+            }
+            rows.push(row);
+        }
+        print_table(&["workload", "1", "2", "4", "8"], &rows);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 21: impact of the SIMD sort backend — per-phase cycles per input
+//! tuple of the sort-based algorithms with the vectorizable backend vs the
+//! scalar one (the paper's with/without-AVX switch).
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_core::{execute, Algorithm};
+use iawj_common::Phase;
+use iawj_datagen::MicroSpec;
+use iawj_exec::{SortBackend, NOMINAL_GHZ};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 21 — SIMD on/off for the sort-based algorithms (static Micro)", &env);
+    let n = (512_000.0 * env.scale * 10.0).max(20_000.0) as usize;
+    let ds = MicroSpec::static_counts(n, n).dupe(4).seed(42).generate();
+    let mut rows = Vec::new();
+    for algo in [Algorithm::MWay, Algorithm::MPass, Algorithm::PmjJm, Algorithm::PmjJb] {
+        for backend in [SortBackend::Vectorized, SortBackend::Scalar] {
+            let cfg = env.config().sort(backend);
+            let res = execute(algo, &ds, &cfg);
+            let per = 1.0 / res.total_inputs.max(1) as f64;
+            rows.push(vec![
+                format!("{}({})", algo.name(), backend.label()),
+                fmt(res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ) * per),
+                fmt(res.breakdown.cycles(Phase::Merge, NOMINAL_GHZ) * per),
+                fmt(res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ) * per),
+                fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+            ]);
+        }
+    }
+    print_table(&["config", "sort", "merge", "join", "total"], &rows);
+}

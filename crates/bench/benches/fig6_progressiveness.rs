@@ -1,0 +1,23 @@
+//! Figure 6: progressiveness (cumulative % of matches vs elapsed stream
+//! time) of all eight algorithms over the four real-world workloads.
+
+use iawj_bench::{banner, print_curve, run, BenchEnv};
+use iawj_core::metrics::{progressiveness, time_to_fraction_ms};
+use iawj_core::Algorithm;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 6 — progressiveness (cumulative % matches over stream-ms)", &env);
+    let cfg = env.config();
+    for ds in env.real_workloads() {
+        println!("\n--- {} ---", ds.name);
+        for algo in Algorithm::STUDIED {
+            let res = run(algo, &ds, &cfg);
+            let curve = progressiveness(&res);
+            print_curve(algo.name(), &curve, 8);
+            if let Some(t50) = time_to_fraction_ms(&res, 0.5) {
+                println!("{:>10}  time-to-50% = {:.1} ms", "", t50);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 7: six-phase execution-time breakdown (wait / partition /
+//! build-sort / merge / probe / others) per algorithm per workload,
+//! reported as total cycles (summed over threads) per input tuple.
+
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_core::Algorithm;
+use iawj_common::PHASES;
+use iawj_exec::NOMINAL_GHZ;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 7 — execution time breakdown (cycles per input tuple)", &env);
+    let cfg = env.config();
+    for ds in env.real_workloads() {
+        println!("\n--- {} ---", ds.name);
+        let mut rows = Vec::new();
+        for algo in Algorithm::STUDIED {
+            let res = run(algo, &ds, &cfg);
+            let per_tuple = 1.0 / res.total_inputs.max(1) as f64;
+            let mut row = vec![algo.name().to_string()];
+            for phase in PHASES {
+                row.push(fmt(res.breakdown.cycles(phase, NOMINAL_GHZ) * per_tuple));
+            }
+            row.push(fmt(res.breakdown.total_ns() as f64 * NOMINAL_GHZ * per_tuple));
+            rows.push(row);
+        }
+        print_table(
+            &["algo", "wait", "partition", "build/sort", "merge", "probe", "others", "total"],
+            &rows,
+        );
+    }
+}

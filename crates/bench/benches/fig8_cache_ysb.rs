@@ -1,0 +1,35 @@
+//! Figure 8: cache-efficiency profiling on YSB — L1/L2/L3 misses per input
+//! tuple during the partition and probe phases, from the cache simulator.
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_core::{trace, Algorithm};
+use iawj_common::Phase;
+use iawj_datagen::ysb;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Figure 8 — simulated cache misses per input tuple, YSB", &env);
+    // The trace replays every access; keep the dataset modest.
+    let ds = ysb((env.scale * 0.5).min(0.02), 42);
+    let cfg = env.config();
+    let prefetch = std::env::var("IAWJ_PREFETCH").is_ok_and(|v| v == "1");
+    if prefetch {
+        println!("(next-line stream prefetcher: ON)");
+    }
+    for phase in [Phase::Partition, Phase::Probe] {
+        println!("\n({}) {} phase", if phase == Phase::Partition { "a" } else { "b" }, phase);
+        let mut rows = Vec::new();
+        for algo in Algorithm::STUDIED {
+            let p = trace::profile_with(algo, &ds, &cfg, prefetch);
+            let c = p.phase(phase);
+            let per = 1.0 / p.tuples.max(1) as f64;
+            rows.push(vec![
+                algo.name().to_string(),
+                fmt(c.l1d_misses as f64 * per),
+                fmt(c.l2_misses as f64 * per),
+                fmt(c.l3_misses as f64 * per),
+            ]);
+        }
+        print_table(&["algo", "L1 miss/t", "L2 miss/t", "L3 miss/t"], &rows);
+    }
+}

@@ -1,0 +1,29 @@
+//! §6 validation: the handshake join delivers orders-of-magnitude lower
+//! throughput than any of the eight studied algorithms, because every
+//! tuple flows through — and is compared at — every core.
+
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_core::Algorithm;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Related work — handshake join vs the studied algorithms", &env);
+    // Modest static input: handshake is extremely slow by design.
+    let ds = iawj_datagen::MicroSpec::static_counts(20_000, 20_000)
+        .dupe(4)
+        .seed(42)
+        .generate();
+    let cfg = env.config();
+    let mut rows = Vec::new();
+    for algo in [
+        Algorithm::Npj,
+        Algorithm::MPass,
+        Algorithm::ShjJm,
+        Algorithm::PmjJb,
+        Algorithm::Handshake,
+    ] {
+        let res = run(algo, &ds, &cfg);
+        rows.push(vec![algo.name().to_string(), fmt(res.throughput_tpms())]);
+    }
+    print_table(&["algo", "tpt (t/ms)"], &rows);
+}

@@ -1,0 +1,48 @@
+//! Table 3 + Figure 3: statistics of the four real-world-equivalent
+//! workloads, re-measured from the generated data, plus the arrival-time
+//! distribution of Stock and Rovio.
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_datagen::stats::{arrival_histogram, WorkloadStats};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Table 3 — workload statistics (measured from generated data)", &env);
+    let workloads = env.real_workloads();
+    let mut rows = Vec::new();
+    for ds in &workloads {
+        let st = WorkloadStats::measure(ds);
+        rows.push(vec![
+            ds.name.clone(),
+            format!("{}", st.r.rate),
+            format!("{}", st.s.rate),
+            fmt(st.r.dupe_avg),
+            fmt(st.s.dupe_avg),
+            fmt(st.r.skew_key_est),
+            fmt(st.s.skew_key_est),
+            fmt(st.r.skew_ts_est),
+            fmt(st.s.skew_ts_est),
+            st.r.count.to_string(),
+            st.s.count.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "workload", "v_R", "v_S", "dupe(R)", "dupe(S)", "skewK(R)", "skewK(S)",
+            "skewT(R)", "skewT(S)", "|R|", "|S|",
+        ],
+        &rows,
+    );
+
+    println!("\nFigure 3 — arrival-time distribution (tuples per 100 ms bucket)");
+    for ds in workloads.iter().filter(|d| d.name == "Stock" || d.name == "Rovio") {
+        for (label, stream) in [("R", &ds.r), ("S", &ds.s)] {
+            let hist = arrival_histogram(stream, 1000);
+            let buckets: Vec<String> = hist
+                .chunks(100)
+                .map(|c| c.iter().sum::<usize>().to_string())
+                .collect();
+            println!("{:>6} {label}  [{}]  peak/ms={}", ds.name, buckets.join(" "), hist.iter().max().unwrap_or(&0));
+        }
+    }
+}

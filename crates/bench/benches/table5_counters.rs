@@ -1,0 +1,30 @@
+//! Table 5: simulated hardware counters per input tuple on Rovio.
+//! (The instruction, L1I and branch-misprediction rows of the paper are
+//! hardware-only and out of the data-cache simulator's scope.)
+
+use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_core::{trace, Algorithm};
+use iawj_datagen::rovio;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Table 5 — simulated counters per input tuple (Rovio)", &env);
+    let ds = rovio((env.scale * 0.5).min(0.02), 42);
+    let cfg = env.config();
+    let prefetch = std::env::var("IAWJ_PREFETCH").is_ok_and(|v| v == "1");
+    if prefetch {
+        println!("(next-line stream prefetcher: ON)");
+    }
+    let mut rows = Vec::new();
+    for algo in Algorithm::STUDIED {
+        let p = trace::profile_with(algo, &ds, &cfg, prefetch).per_tuple();
+        rows.push(vec![
+            algo.name().to_string(),
+            fmt(p.dtlb),
+            fmt(p.l1d),
+            fmt(p.l2),
+            fmt(p.l3),
+        ]);
+    }
+    print_table(&["algo", "TLBD miss/t", "L1D miss/t", "L2 miss/t", "L3 miss/t"], &rows);
+}

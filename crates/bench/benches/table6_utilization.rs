@@ -1,0 +1,35 @@
+//! Table 6: resource utilisation on Rovio — CPU utilisation measured from
+//! the run's busy/wait accounting, memory-bandwidth share estimated from
+//! the simulated DRAM traffic over the measured runtime.
+
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_core::{trace, Algorithm};
+use iawj_datagen::rovio;
+
+/// Assumed peak DRAM bandwidth of the modelled platform (6-channel DDR4
+/// 2666 ≈ 128 GB/s).
+const PEAK_BW_BYTES_PER_MS: f64 = 128e9 / 1e3;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner("Table 6 — resource utilisation (Rovio)", &env);
+    let ds = rovio((env.scale * 0.5).min(0.02), 42);
+    // Utilisation is only meaningful under load: replay fast enough that
+    // Rovio is processing-bound, as it is at paper scale.
+    let mut cfg = env.config();
+    cfg.speedup = env.speedup * 16.0;
+    let mut rows = Vec::new();
+    for algo in Algorithm::STUDIED {
+        let res = run(algo, &ds, &cfg);
+        let p = trace::profile(algo, &ds, &cfg);
+        let dram_bytes = p.total().dram_bytes(64) as f64;
+        let wall_ms = (res.elapsed_ms / env.speedup).max(1e-6); // real ms
+        let bw_pct = 100.0 * dram_bytes / wall_ms / PEAK_BW_BYTES_PER_MS;
+        rows.push(vec![
+            algo.name().to_string(),
+            fmt(bw_pct),
+            fmt(res.cpu_utilisation() * 100.0),
+        ]);
+    }
+    print_table(&["algo", "Mem BW (%)", "CPU util (%)"], &rows);
+}

@@ -1,0 +1,143 @@
+//! A first-order cycle cost model over simulated cache counters.
+//!
+//! Figure 19a of the paper presents a top-down breakdown (retiring /
+//! bad speculation / frontend bound / core bound / memory bound, per Yasin's
+//! method) computed from hardware PMU events. We approximate it with the
+//! classic average-memory-access-time decomposition: every access retires
+//! base work, and each miss level adds a stall penalty attributed to
+//! "memory bound"; per-tuple dispatch overhead (the eager algorithms'
+//! frequent function calls, §5.6) is attributed to "core bound". The
+//! penalties below are the published load-to-use latencies of the Skylake-SP
+//! generation the paper evaluates on.
+
+use crate::hierarchy::Counters;
+
+/// Stall penalties and issue costs, in cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cycles of useful (retiring) work per data access.
+    pub base_per_access: f64,
+    /// Added stall when an access misses L1 and hits L2.
+    pub l2_hit_penalty: f64,
+    /// Added stall when an access misses L2 and hits L3.
+    pub l3_hit_penalty: f64,
+    /// Added stall when an access goes to DRAM.
+    pub dram_penalty: f64,
+    /// Added stall per dTLB miss (page-walk cost).
+    pub tlb_penalty: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Skylake-SP: L1 ~4cy (folded into base), L2 ~14cy, L3 ~50-70cy,
+        // DRAM ~200cy, page walk ~30cy.
+        CostModel {
+            base_per_access: 4.0,
+            l2_hit_penalty: 10.0,
+            l3_hit_penalty: 45.0,
+            dram_penalty: 180.0,
+            tlb_penalty: 30.0,
+        }
+    }
+}
+
+/// Cycle estimate split into top-down-style buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CycleEstimate {
+    /// Useful work (≈ "retiring").
+    pub retiring: f64,
+    /// Dispatch/bookkeeping overhead (≈ "core bound").
+    pub core_bound: f64,
+    /// Cache/TLB stalls (≈ "memory bound").
+    pub memory_bound: f64,
+}
+
+impl CycleEstimate {
+    /// Total estimated cycles.
+    pub fn total(&self) -> f64 {
+        self.retiring + self.core_bound + self.memory_bound
+    }
+
+    /// Percentage split `(retiring, core, memory)`, summing to 100 (or all
+    /// zeros for an empty estimate).
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                100.0 * self.retiring / t,
+                100.0 * self.core_bound / t,
+                100.0 * self.memory_bound / t,
+            )
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimate cycles for a counter delta, charging `dispatch_cycles` of
+    /// core-bound overhead (e.g. the eager per-tuple pull cost × tuples).
+    pub fn estimate(&self, c: &Counters, dispatch_cycles: f64) -> CycleEstimate {
+        let l2_hits = c.l1d_misses - c.l2_misses;
+        let l3_hits = c.l2_misses - c.l3_misses;
+        CycleEstimate {
+            retiring: c.accesses as f64 * self.base_per_access,
+            core_bound: dispatch_cycles,
+            memory_bound: l2_hits as f64 * self.l2_hit_penalty
+                + l3_hits as f64 * self.l3_hit_penalty
+                + c.l3_misses as f64 * self.dram_penalty
+                + c.dtlb_misses as f64 * self.tlb_penalty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(accesses: u64, l1: u64, l2: u64, l3: u64, tlb: u64) -> Counters {
+        Counters { accesses, l1d_misses: l1, l2_misses: l2, l3_misses: l3, dtlb_misses: tlb }
+    }
+
+    #[test]
+    fn all_l1_hits_is_pure_retiring() {
+        let m = CostModel::default();
+        let e = m.estimate(&counters(100, 0, 0, 0, 0), 0.0);
+        assert_eq!(e.memory_bound, 0.0);
+        assert_eq!(e.core_bound, 0.0);
+        assert!((e.retiring - 400.0).abs() < 1e-9);
+        let (r, c, mem) = e.percentages();
+        assert!((r - 100.0).abs() < 1e-9);
+        assert_eq!((c, mem), (0.0, 0.0));
+    }
+
+    #[test]
+    fn dram_misses_dominate_memory_bound() {
+        let m = CostModel::default();
+        let e = m.estimate(&counters(100, 100, 100, 100, 0), 0.0);
+        assert!(e.memory_bound > e.retiring * 10.0);
+    }
+
+    #[test]
+    fn dispatch_charged_to_core_bound() {
+        let m = CostModel::default();
+        let e = m.estimate(&counters(10, 0, 0, 0, 0), 500.0);
+        assert_eq!(e.core_bound, 500.0);
+        let (_, c, _) = e.percentages();
+        assert!(c > 90.0);
+    }
+
+    #[test]
+    fn empty_estimate_percentages_are_zero() {
+        assert_eq!(CycleEstimate::default().percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn penalties_are_monotone_in_depth() {
+        let m = CostModel::default();
+        let l2 = m.estimate(&counters(1, 1, 0, 0, 0), 0.0).memory_bound;
+        let l3 = m.estimate(&counters(1, 1, 1, 0, 0), 0.0).memory_bound;
+        let dram = m.estimate(&counters(1, 1, 1, 1, 0), 0.0).memory_bound;
+        assert!(l2 < l3 && l3 < dram);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Software cache-hierarchy simulation.
+//!
+//! The paper profiles its algorithms with Intel PCM and `perf` (Figure 8,
+//! Table 5, Figure 19a). Hardware counters are not portable, so this crate
+//! substitutes a set-associative, LRU, three-level data-cache simulator plus
+//! a data-TLB, driven by the memory traces of the join kernels. What the
+//! paper *interprets* from its counters — which algorithm/phase misses more,
+//! at which level, and by roughly what factor — is a property of the access
+//! trace and the cache geometry, both of which we model exactly; absolute
+//! counts per tuple will differ from silicon (no prefetchers, no speculative
+//! accesses) and we document that in EXPERIMENTS.md.
+//!
+//! The default geometry mirrors the paper's evaluation machine, an Intel Xeon
+//! Gold 6126 (Table 4): 32 KiB/8-way L1D, 1 MiB/16-way L2 per core, and a
+//! 19.25 MiB/11-way shared L3, with a 64-entry 4-way dTLB over 4 KiB pages.
+
+pub mod cache;
+pub mod cost;
+pub mod hierarchy;
+pub mod tracer;
+
+pub use cache::{CacheConfig, CacheLevel};
+pub use cost::{CostModel, CycleEstimate};
+pub use hierarchy::{Counters, CoreCaches, Hierarchy, SharedL3};
+pub use tracer::{NoopTracer, Tracer};

@@ -1,0 +1,106 @@
+//! The `Tracer` abstraction that lets join kernels be written once and run
+//! either at full speed (with [`NoopTracer`], which compiles to nothing) or
+//! under cache simulation (with a [`CoreCaches`]-backed tracer).
+
+use crate::hierarchy::CoreCaches;
+
+/// Observer of a kernel's memory accesses. Implementations must be so cheap
+/// that the no-op case vanishes under inlining.
+pub trait Tracer {
+    /// The kernel read `len` bytes starting at `addr`.
+    fn read(&mut self, addr: usize, len: usize);
+
+    /// The kernel wrote `len` bytes starting at `addr`. Write-allocate
+    /// caches treat this identically to a read for residency purposes.
+    fn write(&mut self, addr: usize, len: usize);
+
+    /// Is this tracer live? Kernels may skip address computations entirely
+    /// when it is not.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost tracer used on every hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    #[inline(always)]
+    fn read(&mut self, _addr: usize, _len: usize) {}
+
+    #[inline(always)]
+    fn write(&mut self, _addr: usize, _len: usize) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl Tracer for CoreCaches {
+    #[inline]
+    fn read(&mut self, addr: usize, len: usize) {
+        self.access_range(addr as u64, len as u64);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, len: usize) {
+        self.access_range(addr as u64, len as u64);
+    }
+}
+
+/// Blanket impl so `&mut T` works where a tracer is taken by value.
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline(always)]
+    fn read(&mut self, addr: usize, len: usize) {
+        (**self).read(addr, len);
+    }
+
+    #[inline(always)]
+    fn write(&mut self, addr: usize, len: usize) {
+        (**self).write(addr, len);
+    }
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::shared_l3_default;
+
+    #[test]
+    fn noop_is_disabled() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.read(0, 8);
+        t.write(0, 8);
+    }
+
+    #[test]
+    fn core_caches_trace_counts() {
+        let mut core = CoreCaches::new(shared_l3_default());
+        {
+            let t: &mut dyn Tracer = &mut core;
+            assert!(t.enabled());
+            t.read(0, 64);
+            t.write(64, 64);
+        }
+        assert_eq!(core.counters().accesses, 2);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut core = CoreCaches::new(shared_l3_default());
+        fn touch<T: Tracer>(mut t: T) {
+            t.read(128, 1);
+        }
+        touch(&mut core);
+        assert_eq!(core.counters().accesses, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the cache simulator: conservation, LRU
+//! behaviour, and hierarchy consistency under arbitrary access traces.
+
+use iawj_cachesim::cache::{CacheConfig, CacheLevel};
+use iawj_cachesim::hierarchy::Hierarchy;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hits_plus_misses_equals_accesses(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..2000)) {
+        let mut c = CacheLevel::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn immediate_repeat_always_hits(addrs in proptest::collection::vec(0u64..1u64 << 24, 1..500)) {
+        let mut c = CacheLevel::new(CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 2 });
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} missed immediately after fill");
+        }
+    }
+
+    #[test]
+    fn small_working_set_converges_to_all_hits(
+        lines in proptest::collection::vec(0u64..8, 1..200)) {
+        // 8 distinct lines, cache holds 64: after one pass, no more misses.
+        let mut c = CacheLevel::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        for &l in &lines {
+            c.access(l * 64);
+        }
+        c.reset_counters();
+        for &l in &lines {
+            c.access(l * 64);
+        }
+        prop_assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn hierarchy_counters_are_monotone_filters(addrs in proptest::collection::vec(0u64..1u64 << 26, 1..2000)) {
+        let mut h = Hierarchy::new(1);
+        for &a in &addrs {
+            h.cores[0].access_line(a);
+        }
+        let c = h.total();
+        prop_assert_eq!(c.accesses, addrs.len() as u64);
+        // Misses can only shrink with depth: L1 >= L2 >= L3.
+        prop_assert!(c.l1d_misses >= c.l2_misses);
+        prop_assert!(c.l2_misses >= c.l3_misses);
+        prop_assert!(c.dtlb_misses <= c.accesses);
+    }
+
+    #[test]
+    fn flush_restores_cold_state(addrs in proptest::collection::vec(0u64..1u64 << 16, 1..200)) {
+        let mut c = CacheLevel::new(CacheConfig { size_bytes: 65536, line_bytes: 64, ways: 8 });
+        let mut distinct: Vec<u64> = addrs.iter().map(|a| a >> 6).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.flush();
+        for &a in &addrs {
+            c.access(a);
+        }
+        // After a flush, exactly one cold miss per distinct line (the
+        // working set fits: 1024-line capacity vs <=200 lines).
+        prop_assert_eq!(c.misses(), distinct.len() as u64);
+    }
+}

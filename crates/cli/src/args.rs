@@ -1,0 +1,202 @@
+//! A small `--key value` argument parser. Hand-rolled: the whole grammar
+//! is flat key-value pairs plus one leading subcommand, which does not
+//! justify an argument-parsing dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    opts: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument errors, with the offending token.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option appeared twice.
+    Duplicate(String),
+    /// A bare value with no preceding `--key`.
+    Unexpected(String),
+    /// An option's value failed to parse.
+    Invalid {
+        /// The option name (without `--`).
+        key: String,
+        /// The offending value.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+    /// A required option was not supplied.
+    Missing(&'static str),
+    /// Unknown option for this subcommand.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Duplicate(k) => write!(f, "option --{k} given twice"),
+            ArgError::Unexpected(v) => write!(f, "unexpected argument '{v}'"),
+            ArgError::Invalid { key, value, expected } => {
+                write!(f, "--{key} {value}: expected {expected}")
+            }
+            ArgError::Missing(k) => write!(f, "missing required option --{k}"),
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options that take no value.
+const FLAG_NAMES: &[&str] = &["static", "json", "calibrate", "scalar-sort", "eager-merge", "help"];
+
+impl Args {
+    /// Parse everything after the subcommand.
+    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = tokens.iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(tok.clone()));
+            };
+            if FLAG_NAMES.contains(&key) {
+                args.flags.push(key.to_string());
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::Invalid {
+                    key: key.to_string(),
+                    value: "<none>".into(),
+                    expected: "a value",
+                })?
+                .clone();
+            if args.opts.insert(key.to_string(), value).is_some() {
+                return Err(ArgError::Duplicate(key.to_string()));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Is a no-value flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Raw option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, ArgError> {
+        let v = self.opts.get(key).ok_or(ArgError::Missing(key))?;
+        v.parse().map_err(|_| ArgError::Invalid {
+            key: key.to_string(),
+            value: v.clone(),
+            expected: std::any::type_name::<T>(),
+        })
+    }
+
+    /// Comma-separated list of typed values.
+    pub fn list<T: std::str::FromStr>(&self, key: &'static str) -> Result<Vec<T>, ArgError> {
+        let raw: String = self.require(key)?;
+        raw.split(',')
+            .map(|p| {
+                p.trim().parse().map_err(|_| ArgError::Invalid {
+                    key: key.to_string(),
+                    value: p.to_string(),
+                    expected: "a comma-separated list",
+                })
+            })
+            .collect()
+    }
+
+    /// Reject any option not in `allowed` (flags are checked too).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.opts.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        for flag in &self.flags {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::Unknown(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&toks("--algo NPJ --threads 4 --json")).unwrap();
+        assert_eq!(a.get("algo"), Some("NPJ"));
+        assert_eq!(a.get_or("threads", 1usize).unwrap(), 4);
+        assert!(a.flag("json"));
+        assert!(!a.flag("static"));
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert_eq!(
+            Args::parse(&toks("NPJ")).unwrap_err(),
+            ArgError::Unexpected("NPJ".into())
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Args::parse(&toks("--algo NPJ --algo PRJ")).unwrap_err(),
+            ArgError::Duplicate("algo".into())
+        );
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&toks("--threads")).is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = Args::parse(&toks("--rate-r 61.5 --values 1,2,3")).unwrap();
+        assert_eq!(a.get_or("rate-r", 0.0f64).unwrap(), 61.5);
+        assert_eq!(a.list::<u32>("values").unwrap(), vec![1, 2, 3]);
+        assert_eq!(a.require::<f64>("absent").unwrap_err(), ArgError::Missing("absent"));
+        assert!(a.get_or::<usize>("rate-r", 0).is_err(), "61.5 is not a usize");
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = Args::parse(&toks("--algo NPJ --bogus 1")).unwrap();
+        assert_eq!(
+            a.check_known(&["algo"]).unwrap_err(),
+            ArgError::Unknown("bogus".into())
+        );
+        assert!(a.check_known(&["algo", "bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,369 @@
+#![warn(missing_docs)]
+
+//! The `iawj` command-line driver: generate a workload, run any studied
+//! algorithm over it, sweep a parameter, consult the decision tree, or
+//! profile an algorithm under the cache simulator — without writing Rust.
+//!
+//! ```text
+//! iawj run --algo PRJ --workload ysb --scale 0.01 --threads 4
+//! iawj run --algo SHJ_JM --rate-r 100 --rate-s 100 --dupe 10 --json
+//! iawj recommend --rate-r 800 --rate-s 800 --dupe 50 --objective latency
+//! iawj sweep --param dupe --values 1,10,100 --algo MPASS --static
+//! iawj trace --algo NPJ --workload rovio --scale 0.002
+//! ```
+
+pub mod args;
+pub mod summary;
+pub mod workload;
+
+use args::{ArgError, Args};
+use iawj_core::adaptive::sniff;
+use iawj_core::decision::{calibrate, recommend, Objective, Thresholds};
+use iawj_core::{execute, trace};
+use summary::RunSummary;
+use workload::{build_config, build_dataset, parse_algorithm, RUN_OPTS, WORKLOAD_OPTS};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+iawj — intra-window join study driver
+
+USAGE:
+  iawj <run|recommend|sweep|trace|generate> [options]
+
+  Any subcommand also accepts --input-r FILE --input-s FILE to join your
+  own key,ts CSV streams instead of a generated workload.
+
+WORKLOAD OPTIONS (all subcommands):
+  --workload micro|stock|rovio|ysb|debs   (default micro)
+  --scale F          real-workload scale, 1.0 = paper size (default 0.01)
+  --seed N           generator seed (default 42)
+  micro only: --rate-r F --rate-s F --window MS --dupe N
+              --skew-key F --skew-ts F --static --count-r N --count-s N
+
+RUN OPTIONS (run, sweep, trace):
+  --algo NAME        NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE
+  --threads N        worker threads (default 4)
+  --speedup F        stream-time compression (default 25)
+  --sample-every N   match sampling rate (default 64)
+  --delta F          PMJ sorting step size (default 0.2)
+  --eager-merge      PMJ: progressive per-run merging instead of a final merge
+  --radix-bits N     PRJ radix bits (default 10)
+  --group-size N     JB group size (default 2)
+  --scalar-sort      disable the vectorizable sort backend
+  --json             machine-readable output
+
+RECOMMEND OPTIONS:
+  --objective throughput|latency|progressiveness   (default throughput)
+  --calibrate        measure this host's rate bands first
+
+SWEEP OPTIONS:
+  --param rate|dupe|skew-key|skew-ts|window
+  --values A,B,C     parameter values to sweep
+
+GENERATE OPTIONS:
+  --out-r FILE --out-s FILE   write the workload's streams as CSV
+";
+
+/// Entry point shared by the binary and the tests: returns the text to
+/// print, or an error message.
+pub fn run_cli(argv: &[String]) -> Result<String, String> {
+    let (cmd, rest) = argv.split_first().ok_or("no subcommand given")?;
+    if cmd == "help" || cmd == "--help" {
+        return Ok(USAGE.to_string());
+    }
+    let args = Args::parse(rest).map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(USAGE.to_string());
+    }
+    let out = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "recommend" => cmd_recommend(&args),
+        "sweep" => cmd_sweep(&args),
+        "trace" => cmd_trace(&args),
+        "generate" => cmd_generate(&args),
+        other => Err(ArgError::Unexpected(other.to_string())),
+    };
+    out.map_err(|e| e.to_string())
+}
+
+fn allowed(extra: &[&str]) -> Vec<&'static str> {
+    let mut v: Vec<&str> = Vec::new();
+    v.extend_from_slice(WORKLOAD_OPTS);
+    v.extend_from_slice(RUN_OPTS);
+    v.push("algo");
+    // Leak is fine: a handful of static strings per process.
+    v.extend_from_slice(extra);
+    v.iter().map(|s| -> &'static str { Box::leak(s.to_string().into_boxed_str()) }).collect()
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&allowed(&[]))?;
+    let algo = parse_algorithm(args)?;
+    let ds = build_dataset(args)?;
+    let cfg = build_config(args)?;
+    let result = execute(algo, &ds, &cfg);
+    let summary = RunSummary::from_result(&result);
+    Ok(if args.flag("json") { summary.to_json() } else { summary.to_text() })
+}
+
+fn cmd_recommend(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&allowed(&["objective", "calibrate", "cores"]))?;
+    let ds = build_dataset(args)?;
+    let cores: usize = args.get_or("cores", 8)?;
+    let objective = match args.get_or("objective", "throughput".to_string())?.as_str() {
+        "throughput" => Objective::Throughput,
+        "latency" => Objective::Latency,
+        "progressiveness" => Objective::Progressiveness,
+        other => {
+            return Err(ArgError::Invalid {
+                key: "objective".into(),
+                value: other.into(),
+                expected: "throughput|latency|progressiveness",
+            })
+        }
+    };
+    let thresholds = if args.flag("calibrate") { calibrate(cores) } else { Thresholds::default() };
+    let descriptor = sniff(&ds, 0.05, cores);
+    let pick = recommend(&descriptor, objective, &thresholds);
+    Ok(format!(
+        "workload: rate_r={} rate_s={} dupe={:.1} skew_key={:.2} tuples={}\n\
+         bands: low<{:.0} t/ms, high>={:.0} t/ms\n\
+         recommendation ({objective:?}): {pick}",
+        descriptor.rate_r,
+        descriptor.rate_s,
+        descriptor.dupe,
+        descriptor.skew_key,
+        descriptor.total_tuples,
+        thresholds.rate_low,
+        thresholds.rate_high,
+    ))
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&allowed(&["param", "values"]))?;
+    let algo = parse_algorithm(args)?;
+    let param: String = args.require("param")?;
+    let values: Vec<f64> = args.list("values")?;
+    let cfg = build_config(args)?;
+    let mut out = format!("{:>10}  {:>12}  {:>12}  {:>10}\n", param, "tpt (t/ms)", "p95 (ms)", "matches");
+    for &v in &values {
+        // Rebuild the workload with the swept parameter overridden.
+        let ds = build_dataset_with_override(args, &param, v)?;
+        let result = execute(algo, &ds, &cfg);
+        let summary = RunSummary::from_result(&result);
+        out.push_str(&format!(
+            "{v:>10}  {:>12.1}  {:>12}  {:>10}\n",
+            summary.throughput_tpms,
+            summary
+                .latency_p95_ms
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            summary.matches,
+        ));
+    }
+    Ok(out)
+}
+
+/// Build the dataset with one Micro parameter replaced by the sweep value.
+fn build_dataset_with_override(
+    args: &Args,
+    param: &str,
+    value: f64,
+) -> Result<iawj_datagen::Dataset, ArgError> {
+    use iawj_datagen::MicroSpec;
+    let base = MicroSpec {
+        rate_r: args.get_or("rate-r", 1600.0)?,
+        rate_s: args.get_or("rate-s", 1600.0)?,
+        window_ms: args.get_or("window", 1000)?,
+        dupe: args.get_or("dupe", 1usize)?.max(1),
+        skew_key: args.get_or("skew-key", 0.0)?,
+        skew_ts: args.get_or("skew-ts", 0.0)?,
+        static_data: args.flag("static"),
+        count_r: None,
+        count_s: None,
+        seed: args.get_or("seed", 42)?,
+    };
+    let spec = match param {
+        "rate" => MicroSpec { rate_r: value, rate_s: value, ..base },
+        "dupe" => MicroSpec { dupe: (value as usize).max(1), ..base },
+        "skew-key" => MicroSpec { skew_key: value, ..base },
+        "skew-ts" => MicroSpec { skew_ts: value, ..base },
+        "window" => MicroSpec { window_ms: value as u32, ..base },
+        other => {
+            return Err(ArgError::Invalid {
+                key: "param".into(),
+                value: other.into(),
+                expected: "rate|dupe|skew-key|skew-ts|window",
+            })
+        }
+    };
+    let mut spec = spec;
+    if spec.static_data {
+        spec.count_r = Some(spec.n_r());
+        spec.count_s = Some(spec.n_s());
+    }
+    Ok(spec.generate())
+}
+
+fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&allowed(&[]))?;
+    let algo = parse_algorithm(args)?;
+    let ds = build_dataset(args)?;
+    let cfg = build_config(args)?;
+    let profile = trace::profile(algo, &ds, &cfg);
+    let per = profile.per_tuple();
+    let est = profile.estimate(&iawj_cachesim::CostModel::default());
+    let (retiring, core, memory) = est.percentages();
+    let mut out = format!(
+        "algorithm: {}\ntuples: {}\nsimulated misses per tuple: dTLB {:.3}  L1D {:.3}  L2 {:.3}  L3 {:.3}\n",
+        profile.algorithm, profile.tuples, per.dtlb, per.l1d, per.l2, per.l3
+    );
+    out.push_str(&format!(
+        "top-down estimate: retiring {retiring:.1}%  core-bound {core:.1}%  memory-bound {memory:.1}%\n"
+    ));
+    for (phase, counters) in &profile.per_phase {
+        out.push_str(&format!(
+            "  {phase:<12} accesses {:>10}  L1D {:>8}  L2 {:>7}  L3 {:>7}\n",
+            counters.accesses, counters.l1d_misses, counters.l2_misses, counters.l3_misses
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&allowed(&["out-r", "out-s"]))?;
+    let ds = build_dataset(args)?;
+    let save = |key: &'static str, stream: &[iawj_common::Tuple]| -> Result<String, ArgError> {
+        let path: String = args.require(key)?;
+        iawj_datagen::io::save_stream(stream, &path).map_err(|e| ArgError::Invalid {
+            key: key.into(),
+            value: format!("{path}: {e}"),
+            expected: "a writable path",
+        })?;
+        Ok(path)
+    };
+    let pr = save("out-r", &ds.r)?;
+    let ps = save("out-s", &ds.s)?;
+    Ok(format!(
+        "wrote {} tuples to {pr} and {} tuples to {ps}",
+        ds.r.len(),
+        ds.s.len()
+    ))
+}
+
+/// Convenience for tests: run with &str arguments.
+pub fn run_cli_str(argv: &[&str]) -> Result<String, String> {
+    let owned: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    run_cli(&owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_works() {
+        assert!(run_cli_str(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_cli_str(&["run", "--help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(run_cli(&[]).is_err());
+        assert!(run_cli_str(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn run_text_output() {
+        let out = run_cli_str(&[
+            "run", "--algo", "NPJ", "--static", "--count-r", "500", "--count-s", "500",
+            "--dupe", "5", "--threads", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("algorithm:     NPJ"), "{out}");
+        assert!(out.contains("matches:       2500"), "{out}");
+    }
+
+    #[test]
+    fn run_json_output() {
+        let out = run_cli_str(&[
+            "run", "--algo", "PMJ_JB", "--static", "--count-r", "300", "--count-s", "300",
+            "--json", "--threads", "2",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["algorithm"], "PMJ_JB");
+    }
+
+    #[test]
+    fn recommend_paths() {
+        let out = run_cli_str(&[
+            "recommend", "--static", "--count-r", "2000", "--count-s", "2000", "--dupe", "50",
+        ])
+        .unwrap();
+        assert!(out.contains("recommendation"), "{out}");
+        assert!(out.contains("MPASS") || out.contains("MWAY"), "{out}");
+        let out = run_cli_str(&[
+            "recommend", "--rate-r", "5", "--rate-s", "5", "--window", "100",
+            "--objective", "latency",
+        ])
+        .unwrap();
+        assert!(out.contains("SHJ_JM"), "{out}");
+    }
+
+    #[test]
+    fn sweep_prints_one_row_per_value() {
+        let out = run_cli_str(&[
+            "sweep", "--algo", "NPJ", "--param", "dupe", "--values", "1,5", "--static",
+            "--rate-r", "3", "--rate-s", "3", "--window", "100", "--threads", "2",
+        ])
+        .unwrap();
+        let rows: Vec<&str> = out.lines().collect();
+        assert_eq!(rows.len(), 3, "{out}"); // header + 2 values
+    }
+
+    #[test]
+    fn trace_reports_counters() {
+        let out = run_cli_str(&[
+            "trace", "--algo", "SHJ_JM", "--static", "--count-r", "2000", "--count-s", "2000",
+            "--threads", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("misses per tuple"), "{out}");
+        assert!(out.contains("memory-bound"), "{out}");
+    }
+
+    #[test]
+    fn generate_then_run_from_csv() {
+        let dir = std::env::temp_dir().join("iawj_cli_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pr = dir.join("r.csv");
+        let ps = dir.join("s.csv");
+        let out = run_cli_str(&[
+            "generate", "--static", "--count-r", "200", "--count-s", "200", "--dupe", "4",
+            "--out-r", pr.to_str().unwrap(), "--out-s", ps.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote 200 tuples"), "{out}");
+        let out = run_cli_str(&[
+            "run", "--algo", "MWAY", "--threads", "2",
+            "--input-r", pr.to_str().unwrap(), "--input-s", ps.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("matches:       800"), "4 dupes each side over 50 keys: {out}");
+        std::fs::remove_file(pr).unwrap();
+        std::fs::remove_file(ps).unwrap();
+    }
+
+    #[test]
+    fn unknown_option_is_reported() {
+        let err = run_cli_str(&["run", "--algo", "NPJ", "--bogus", "1"]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn bad_algorithm_is_reported() {
+        let err = run_cli_str(&["run", "--algo", "BLOOM"]).unwrap_err();
+        assert!(err.contains("algo"), "{err}");
+    }
+}

@@ -1,0 +1,19 @@
+//! `iawj` — command-line driver for the intra-window-join study.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match iawj_cli::run_cli(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", iawj_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Serializable run summaries — the CLI's JSON interface for plotting
+//! pipelines and scripts.
+
+use iawj_core::metrics::{latency_quantile_ms, progressiveness, thin_curve};
+use iawj_core::RunResult;
+use serde::Serialize;
+
+/// The metrics of one run, flattened for JSON output.
+#[derive(Debug, Serialize)]
+pub struct RunSummary {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total input tuples.
+    pub total_inputs: usize,
+    /// Total matches.
+    pub matches: u64,
+    /// Throughput in tuples per stream-ms.
+    pub throughput_tpms: f64,
+    /// 95th-percentile latency in stream-ms (absent when no matches).
+    pub latency_p95_ms: Option<f64>,
+    /// Median latency in stream-ms.
+    pub latency_p50_ms: Option<f64>,
+    /// Stream time of the last match.
+    pub last_emit_ms: f64,
+    /// Total elapsed stream time.
+    pub elapsed_ms: f64,
+    /// CPU utilisation estimate (0..1).
+    pub cpu_utilisation: f64,
+    /// Per-phase share of total time, `[wait, partition, build_sort,
+    /// merge, probe, other]`, each 0..1.
+    pub phase_fractions: [f64; 6],
+    /// Progressiveness curve thinned to at most 32 `(stream_ms, fraction)`
+    /// points.
+    pub progress: Vec<(f64, f64)>,
+}
+
+impl RunSummary {
+    /// Summarise a run result.
+    pub fn from_result(r: &RunResult) -> Self {
+        let phase_fractions = {
+            let mut f = [0.0; 6];
+            for (i, p) in iawj_common::PHASES.iter().enumerate() {
+                f[i] = r.breakdown.fraction(*p);
+            }
+            f
+        };
+        RunSummary {
+            algorithm: r.algorithm.name().to_string(),
+            threads: r.threads,
+            total_inputs: r.total_inputs,
+            matches: r.matches,
+            throughput_tpms: r.throughput_tpms(),
+            latency_p95_ms: latency_quantile_ms(r, 0.95),
+            latency_p50_ms: latency_quantile_ms(r, 0.50),
+            last_emit_ms: r.last_emit_ms,
+            elapsed_ms: r.elapsed_ms,
+            cpu_utilisation: r.cpu_utilisation(),
+            phase_fractions,
+            progress: thin_curve(&progressiveness(r), 32),
+        }
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary is always serializable")
+    }
+
+    /// Render as aligned human-readable text.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "algorithm:     {}", self.algorithm);
+        let _ = writeln!(out, "threads:       {}", self.threads);
+        let _ = writeln!(out, "inputs:        {}", self.total_inputs);
+        let _ = writeln!(out, "matches:       {}", self.matches);
+        let _ = writeln!(out, "throughput:    {:.1} tuples/ms", self.throughput_tpms);
+        match self.latency_p95_ms {
+            Some(p95) => {
+                let _ = writeln!(out, "latency p95:   {p95:.2} ms");
+            }
+            None => {
+                let _ = writeln!(out, "latency p95:   - (no matches)");
+            }
+        }
+        let _ = writeln!(out, "elapsed:       {:.1} ms (stream time)", self.elapsed_ms);
+        let _ = writeln!(out, "cpu util:      {:.1}%", self.cpu_utilisation * 100.0);
+        let labels = ["wait", "partition", "build/sort", "merge", "probe", "others"];
+        let shares: Vec<String> = labels
+            .iter()
+            .zip(self.phase_fractions.iter())
+            .filter(|(_, &f)| f > 0.0005)
+            .map(|(l, f)| format!("{l} {:.1}%", f * 100.0))
+            .collect();
+        let _ = writeln!(out, "phases:        {}", shares.join(", "));
+        if let Some(&(t, _)) = self
+            .progress
+            .iter()
+            .find(|&&(_, frac)| frac >= 0.5)
+        {
+            let _ = writeln!(out, "50% matches:   by {t:.1} ms");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iawj_core::{execute, Algorithm, RunConfig};
+    use iawj_datagen::MicroSpec;
+
+    fn sample_summary() -> RunSummary {
+        let ds = MicroSpec::static_counts(500, 500).dupe(5).seed(1).generate();
+        let result = execute(Algorithm::Npj, &ds, &RunConfig::with_threads(2));
+        RunSummary::from_result(&result)
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let s = sample_summary();
+        assert_eq!(s.algorithm, "NPJ");
+        assert_eq!(s.total_inputs, 1000);
+        assert_eq!(s.matches, 2500, "500 tuples over 100 keys x 5 dupes each side");
+        assert!(s.throughput_tpms > 0.0);
+        let total: f64 = s.phase_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "fractions sum to 1, got {total}");
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let s = sample_summary();
+        let json = s.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["algorithm"], "NPJ");
+        assert_eq!(parsed["matches"], 2500);
+        assert!(parsed["progress"].as_array().is_some());
+    }
+
+    #[test]
+    fn text_mentions_the_essentials() {
+        let text = sample_summary().to_text();
+        assert!(text.contains("algorithm:     NPJ"));
+        assert!(text.contains("throughput:"));
+        assert!(text.contains("matches:"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Building datasets and run configurations from CLI options.
+
+use crate::args::{ArgError, Args};
+use iawj_core::{Algorithm, RunConfig};
+use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
+use iawj_exec::SortBackend;
+
+/// Options shared by every dataset-consuming subcommand.
+pub const WORKLOAD_OPTS: &[&str] = &[
+    "workload", "scale", "seed", "rate-r", "rate-s", "window", "dupe", "skew-key", "skew-ts",
+    "count-r", "count-s", "static", "input-r", "input-s",
+];
+
+/// Options shared by every executing subcommand.
+pub const RUN_OPTS: &[&str] = &["threads", "speedup", "sample-every", "delta", "radix-bits", "group-size", "scalar-sort", "eager-merge", "json"];
+
+/// Parse `--algo`.
+pub fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
+    let name: String = args.require("algo")?;
+    algorithm_by_name(&name).ok_or(ArgError::Invalid {
+        key: "algo".into(),
+        value: name,
+        expected: "NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE",
+    })
+}
+
+/// Case-insensitive algorithm lookup.
+pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    let upper = name.to_ascii_uppercase();
+    Algorithm::STUDIED
+        .into_iter()
+        .chain([Algorithm::Handshake])
+        .find(|a| a.name() == upper)
+}
+
+/// Build the dataset selected by `--workload` (default: micro), or load
+/// both streams from CSV when `--input-r`/`--input-s` are given.
+pub fn build_dataset(args: &Args) -> Result<Dataset, ArgError> {
+    if args.get("input-r").is_some() || args.get("input-s").is_some() {
+        return load_csv_dataset(args);
+    }
+    let workload: String = args.get_or("workload", "micro".to_string())?;
+    let scale: f64 = args.get_or("scale", 0.01)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    match workload.as_str() {
+        "stock" => Ok(stock(scale, seed)),
+        "rovio" => Ok(rovio(scale, seed)),
+        "ysb" => Ok(ysb(scale, seed)),
+        "debs" => Ok(debs(scale, seed)),
+        "micro" => {
+            let mut spec = MicroSpec {
+                rate_r: args.get_or("rate-r", 1600.0)?,
+                rate_s: args.get_or("rate-s", 1600.0)?,
+                window_ms: args.get_or("window", 1000)?,
+                dupe: args.get_or("dupe", 1usize)?.max(1),
+                skew_key: args.get_or("skew-key", 0.0)?,
+                skew_ts: args.get_or("skew-ts", 0.0)?,
+                static_data: args.flag("static"),
+                count_r: None,
+                count_s: None,
+                seed,
+            };
+            if let Some(v) = args.get("count-r") {
+                spec.count_r = Some(v.parse().map_err(|_| ArgError::Invalid {
+                    key: "count-r".into(),
+                    value: v.into(),
+                    expected: "a tuple count",
+                })?);
+            }
+            if let Some(v) = args.get("count-s") {
+                spec.count_s = Some(v.parse().map_err(|_| ArgError::Invalid {
+                    key: "count-s".into(),
+                    value: v.into(),
+                    expected: "a tuple count",
+                })?);
+            }
+            if spec.static_data && spec.count_r.is_none() {
+                spec.count_r = Some(spec.n_r());
+                spec.count_s = Some(spec.n_s());
+            }
+            Ok(spec.generate())
+        }
+        other => Err(ArgError::Invalid {
+            key: "workload".into(),
+            value: other.into(),
+            expected: "micro|stock|rovio|ysb|debs",
+        }),
+    }
+}
+
+/// Load both streams from `--input-r` / `--input-s` CSV files. The window
+/// is `--window` (default: covers the latest timestamp).
+fn load_csv_dataset(args: &Args) -> Result<Dataset, ArgError> {
+    use iawj_common::{Rate, Window};
+    use iawj_datagen::io::load_stream;
+    let load = |key: &'static str| -> Result<Vec<iawj_common::Tuple>, ArgError> {
+        let path: String = args.require(key)?;
+        load_stream(&path).map_err(|e| ArgError::Invalid {
+            key: key.into(),
+            value: format!("{path}: {e}"),
+            expected: "a readable key,ts CSV file",
+        })
+    };
+    let r = load("input-r")?;
+    let s = load("input-s")?;
+    let max_ts = r
+        .last()
+        .map(|t| t.ts)
+        .unwrap_or(0)
+        .max(s.last().map(|t| t.ts).unwrap_or(0));
+    let window_ms: u32 = args.get_or("window", max_ts.saturating_add(1))?;
+    let rate = |stream: &[iawj_common::Tuple]| {
+        if max_ts == 0 {
+            Rate::Infinite
+        } else {
+            Rate::PerMs(stream.len() as f64 / max_ts as f64)
+        }
+    };
+    Ok(Dataset {
+        name: "csv".into(),
+        rate_r: rate(&r),
+        rate_s: rate(&s),
+        r,
+        s,
+        window: Window::of_len(window_ms),
+    })
+}
+
+/// Build a run configuration from CLI options.
+pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
+    let mut cfg = RunConfig::with_threads(args.get_or("threads", 4)?)
+        .speedup(args.get_or("speedup", 25.0)?);
+    cfg.sample_every = args.get_or("sample-every", 64)?;
+    cfg.pmj.delta = args.get_or("delta", cfg.pmj.delta)?;
+    cfg.prj.radix_bits = args.get_or("radix-bits", cfg.prj.radix_bits)?;
+    cfg.jb.group_size = args.get_or("group-size", cfg.jb.group_size)?;
+    if args.flag("scalar-sort") {
+        cfg.sort = SortBackend::Scalar;
+    }
+    cfg.pmj.eager_merge = args.flag("eager-merge");
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn algorithm_lookup_is_case_insensitive() {
+        assert_eq!(algorithm_by_name("npj"), Some(Algorithm::Npj));
+        assert_eq!(algorithm_by_name("Shj_Jm"), Some(Algorithm::ShjJm));
+        assert_eq!(algorithm_by_name("handshake"), Some(Algorithm::Handshake));
+        assert_eq!(algorithm_by_name("nope"), None);
+    }
+
+    #[test]
+    fn micro_defaults() {
+        let ds = build_dataset(&parse("--rate-r 5 --rate-s 5 --window 100 --seed 1")).unwrap();
+        assert_eq!(ds.name, "Micro");
+        assert_eq!(ds.r.len(), 500);
+    }
+
+    #[test]
+    fn static_micro_with_counts() {
+        let ds = build_dataset(&parse("--static --count-r 100 --count-s 200")).unwrap();
+        assert!(ds.is_static());
+        assert_eq!(ds.r.len(), 100);
+        assert_eq!(ds.s.len(), 200);
+    }
+
+    #[test]
+    fn real_workloads_by_name() {
+        for name in ["stock", "rovio", "ysb", "debs"] {
+            let ds = build_dataset(&parse(&format!("--workload {name} --scale 0.002"))).unwrap();
+            assert!(ds.total_inputs() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_workload_is_an_error() {
+        assert!(build_dataset(&parse("--workload tpch")).is_err());
+    }
+
+    #[test]
+    fn config_knobs() {
+        let cfg = build_config(&parse("--threads 2 --speedup 50 --delta 0.3 --scalar-sort")).unwrap();
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.sort, SortBackend::Scalar);
+        assert!((cfg.pmj.delta - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! The integer hash shared by every hash-based join in the study.
+//!
+//! The paper's codebase uses a simple multiplicative/bitmask bucket function
+//! over 32-bit keys; we use the 64-bit finalizer from Murmur3 (a.k.a.
+//! `fmix64`), which is a few cycles, passes avalanche tests, and — unlike
+//! SipHash — does not dominate the probe loop (see the performance guide's
+//! hashing chapter). All tables in `iawj-exec` derive bucket indices from
+//! this one function so the algorithms are comparable.
+
+use crate::tuple::Key;
+
+/// Murmur3 64-bit finalizer over the key.
+#[inline]
+pub fn hash_key(key: Key) -> u64 {
+    let mut h = key as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// Bucket index for a table with a power-of-two bucket count.
+#[inline]
+pub fn bucket_of(key: Key, mask: u64) -> usize {
+    (hash_key(key) & mask) as usize
+}
+
+/// Round up to the next power of two, at least `min`.
+#[inline]
+pub fn next_pow2_at_least(n: usize, min: usize) -> usize {
+    n.max(min).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_key(12345), hash_key(12345));
+    }
+
+    #[test]
+    fn hash_differs_for_nearby_keys() {
+        // Sequential keys must not collide in the low bits (the bucket bits).
+        let mask = 1023u64;
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0..100u32 {
+            buckets.insert(bucket_of(k, mask));
+        }
+        assert!(buckets.len() > 90, "only {} distinct buckets", buckets.len());
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip ~32 of the 64 output bits.
+        let base = hash_key(0xABCD_EF01);
+        for bit in 0..32 {
+            let flipped = hash_key(0xABCD_EF01 ^ (1 << bit));
+            let diff = (base ^ flipped).count_ones();
+            assert!((16..=48).contains(&diff), "bit {bit}: {diff} bits changed");
+        }
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(next_pow2_at_least(0, 16), 16);
+        assert_eq!(next_pow2_at_least(16, 16), 16);
+        assert_eq!(next_pow2_at_least(17, 16), 32);
+        assert_eq!(next_pow2_at_least(5, 1), 8);
+    }
+}

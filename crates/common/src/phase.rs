@@ -1,0 +1,184 @@
+//! The six execution phases of the paper's time breakdown (§5.3):
+//! Wait, Partition, Build/Sort, Merge, Probe, Others.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut};
+
+/// Execution phase of a join run, for per-phase time accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Waiting for input to arrive (window length for lazy algorithms;
+    /// stream-starvation stalls for eager ones).
+    Wait = 0,
+    /// Distributing workload among threads (radix partitioning, stream
+    /// dispatch, JB status maintenance).
+    Partition = 1,
+    /// Hash-table construction or tuple sorting.
+    BuildSort = 2,
+    /// Merging sorted runs (sort-based algorithms only).
+    Merge = 3,
+    /// Matching tuples: hash probe or sorted-merge matching.
+    Probe = 4,
+    /// Everything else (thread management, bookkeeping).
+    Other = 5,
+}
+
+/// All phases in breakdown order.
+pub const PHASES: [Phase; 6] = [
+    Phase::Wait,
+    Phase::Partition,
+    Phase::BuildSort,
+    Phase::Merge,
+    Phase::Probe,
+    Phase::Other,
+];
+
+impl Phase {
+    /// Short label matching the paper's Figure 7 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Wait => "wait",
+            Phase::Partition => "partition",
+            Phase::BuildSort => "build/sort",
+            Phase::Merge => "merge",
+            Phase::Probe => "probe",
+            Phase::Other => "others",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Nanoseconds spent per phase. Addable across threads and runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    ns: [u64; 6],
+}
+
+impl PhaseBreakdown {
+    /// An all-zero breakdown.
+    pub const fn zero() -> Self {
+        PhaseBreakdown { ns: [0; 6] }
+    }
+
+    /// Record `ns` nanoseconds against a phase.
+    #[inline]
+    pub fn add_ns(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase as usize] += ns;
+    }
+
+    /// Total nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Total excluding the wait phase — the paper's "execution cost".
+    pub fn busy_ns(&self) -> u64 {
+        self.total_ns() - self.ns[Phase::Wait as usize]
+    }
+
+    /// Fraction of total time in a phase (0 when the total is 0).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.ns[phase as usize] as f64 / total as f64
+        }
+    }
+
+    /// Convert a phase's time to CPU cycles at a nominal frequency —
+    /// the study reports "cycles per input tuple" assuming the evaluation
+    /// machine's 2.6 GHz clock.
+    pub fn cycles(&self, phase: Phase, ghz: f64) -> f64 {
+        self.ns[phase as usize] as f64 * ghz
+    }
+}
+
+impl Index<Phase> for PhaseBreakdown {
+    type Output = u64;
+    fn index(&self, phase: Phase) -> &u64 {
+        &self.ns[phase as usize]
+    }
+}
+
+impl IndexMut<Phase> for PhaseBreakdown {
+    fn index_mut(&mut self, phase: Phase) -> &mut u64 {
+        &mut self.ns[phase as usize]
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = PhaseBreakdown;
+    fn add(mut self, rhs: PhaseBreakdown) -> PhaseBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: PhaseBreakdown) {
+        for (a, b) in self.ns.iter_mut().zip(rhs.ns.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_total() {
+        let mut b = PhaseBreakdown::zero();
+        b.add_ns(Phase::Wait, 100);
+        b.add_ns(Phase::Probe, 300);
+        b.add_ns(Phase::Probe, 100);
+        assert_eq!(b.total_ns(), 500);
+        assert_eq!(b.busy_ns(), 400);
+        assert_eq!(b[Phase::Probe], 400);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut b = PhaseBreakdown::zero();
+        assert_eq!(b.fraction(Phase::Wait), 0.0);
+        b.add_ns(Phase::Wait, 750);
+        b.add_ns(Phase::Merge, 250);
+        assert!((b.fraction(Phase::Wait) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_elementwise() {
+        let mut a = PhaseBreakdown::zero();
+        a.add_ns(Phase::Partition, 10);
+        let mut b = PhaseBreakdown::zero();
+        b.add_ns(Phase::Partition, 5);
+        b.add_ns(Phase::Other, 1);
+        let c = a + b;
+        assert_eq!(c[Phase::Partition], 15);
+        assert_eq!(c[Phase::Other], 1);
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        let mut b = PhaseBreakdown::zero();
+        b.add_ns(Phase::BuildSort, 1000);
+        // 1000 ns at 2.6 GHz = 2600 cycles.
+        assert!((b.cycles(Phase::BuildSort, 2.6) - 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<_> = PHASES.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["wait", "partition", "build/sort", "merge", "probe", "others"]
+        );
+    }
+}

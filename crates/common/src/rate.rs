@@ -1,0 +1,89 @@
+//! Input arrival rate `v` (tuples per millisecond, Table 1). The DEBS
+//! workload and the YSB campaigns table are "data at rest": their rate is
+//! infinite and every tuple is available immediately.
+
+use std::fmt;
+
+/// Arrival rate of one input stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Rate {
+    /// Finite rate in tuples per millisecond.
+    PerMs(f64),
+    /// Data at rest: all tuples arrive instantly at the window start.
+    Infinite,
+}
+
+impl Rate {
+    /// The finite rate, if any.
+    pub fn per_ms(self) -> Option<f64> {
+        match self {
+            Rate::PerMs(v) => Some(v),
+            Rate::Infinite => None,
+        }
+    }
+
+    /// Number of tuples this rate yields over a window of `w` milliseconds;
+    /// `None` for an infinite rate (cardinality must be given explicitly).
+    pub fn tuples_over(self, window_ms: u32) -> Option<usize> {
+        self.per_ms().map(|v| (v * window_ms as f64).round() as usize)
+    }
+
+    /// Qualitative band used by the decision tree of Figure 4. The
+    /// thresholds are relative to machine capability; these defaults follow
+    /// the paper's Micro sweep where ≈1600/ms reads "low" and ≥25600/ms reads
+    /// "high" on the evaluation machine.
+    pub fn band(self, low_cut: f64, high_cut: f64) -> RateBand {
+        match self {
+            Rate::Infinite => RateBand::High,
+            Rate::PerMs(v) if v < low_cut => RateBand::Low,
+            Rate::PerMs(v) if v >= high_cut => RateBand::High,
+            Rate::PerMs(_) => RateBand::Medium,
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rate::PerMs(v) => write!(f, "{v}/ms"),
+            Rate::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// Qualitative arrival-rate band (decision-tree input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateBand {
+    /// Well below machine capacity; hardware idles.
+    Low,
+    /// Within capacity, but high enough that efficiency matters.
+    Medium,
+    /// At or beyond capacity (includes data at rest).
+    High,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_over_window() {
+        assert_eq!(Rate::PerMs(61.0).tuples_over(1000), Some(61_000));
+        assert_eq!(Rate::Infinite.tuples_over(1000), None);
+        assert_eq!(Rate::PerMs(0.5).tuples_over(10), Some(5));
+    }
+
+    #[test]
+    fn banding() {
+        assert_eq!(Rate::PerMs(100.0).band(1600.0, 25600.0), RateBand::Low);
+        assert_eq!(Rate::PerMs(6400.0).band(1600.0, 25600.0), RateBand::Medium);
+        assert_eq!(Rate::PerMs(25600.0).band(1600.0, 25600.0), RateBand::High);
+        assert_eq!(Rate::Infinite.band(1600.0, 25600.0), RateBand::High);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rate::Infinite.to_string(), "inf");
+        assert_eq!(Rate::PerMs(61.0).to_string(), "61/ms");
+    }
+}

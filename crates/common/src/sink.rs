@@ -1,0 +1,203 @@
+//! Match sinks: where join results go.
+//!
+//! Each worker thread owns one sink, so recording a match is contention-free;
+//! the runner merges per-thread sinks afterwards. Workloads like Rovio
+//! produce orders of magnitude more matches than inputs, so the default sink
+//! counts every match but only *records* every `sample_every`-th one — enough
+//! for quantile latency and progressiveness curves without materialising
+//! gigabytes (the paper's harness batches its RDTSC stamps for the same
+//! reason).
+
+use crate::tuple::{Key, Ts};
+
+/// One recorded join match: the result tuple of Definition 2 plus the
+/// stream-time moment it was emitted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchRecord {
+    /// Join key shared by both sides.
+    pub key: Key,
+    /// Arrival timestamp of the R-side tuple.
+    pub r_ts: Ts,
+    /// Arrival timestamp of the S-side tuple.
+    pub s_ts: Ts,
+    /// Stream time (ms, fractional) at which the match was produced.
+    pub emit_ms: f64,
+}
+
+impl MatchRecord {
+    /// Result-tuple timestamp per Definition 2: `max(r.ts, s.ts)`.
+    #[inline]
+    pub fn result_ts(&self) -> Ts {
+        self.r_ts.max(self.s_ts)
+    }
+
+    /// Processing latency (§4.1): emission time minus the arrival of the
+    /// later of the two inputs. Clamped at zero against clock skew.
+    #[inline]
+    pub fn latency_ms(&self) -> f64 {
+        (self.emit_ms - self.result_ts() as f64).max(0.0)
+    }
+}
+
+/// Destination for join matches. Implementations must be cheap: `push` sits
+/// in the innermost loop of every algorithm.
+pub trait Sink: Send {
+    /// Record one match emitted at stream time `emit_ms`.
+    fn push(&mut self, key: Key, r_ts: Ts, s_ts: Ts, emit_ms: f64);
+
+    /// Total matches pushed so far.
+    fn count(&self) -> u64;
+}
+
+/// Collects every match. For correctness tests and small inputs only.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// All matches, in emission order of this worker.
+    pub matches: Vec<MatchRecord>,
+}
+
+impl CollectingSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The matches as `(key, r_ts, s_ts)` triples sorted canonically —
+    /// the multiset equality form the correctness tests compare.
+    pub fn canonical(&self) -> Vec<(Key, Ts, Ts)> {
+        let mut v: Vec<_> = self.matches.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Sink for CollectingSink {
+    #[inline]
+    fn push(&mut self, key: Key, r_ts: Ts, s_ts: Ts, emit_ms: f64) {
+        self.matches.push(MatchRecord { key, r_ts, s_ts, emit_ms });
+    }
+
+    fn count(&self) -> u64 {
+        self.matches.len() as u64
+    }
+}
+
+/// Counts all matches, records every `sample_every`-th (plus the final one
+/// implicitly via `last_emit_ms`). `sample_every = 1` records everything.
+#[derive(Debug)]
+pub struct CountingSink {
+    count: u64,
+    sample_every: u64,
+    /// Sampled matches (every `sample_every`-th).
+    pub samples: Vec<MatchRecord>,
+    /// Emission time of the last match seen, for end-to-end throughput.
+    pub last_emit_ms: f64,
+}
+
+impl CountingSink {
+    /// Sink sampling one in `sample_every` matches.
+    pub fn new(sample_every: u64) -> Self {
+        CountingSink {
+            count: 0,
+            sample_every: sample_every.max(1),
+            samples: Vec::new(),
+            last_emit_ms: 0.0,
+        }
+    }
+}
+
+impl Sink for CountingSink {
+    #[inline]
+    fn push(&mut self, key: Key, r_ts: Ts, s_ts: Ts, emit_ms: f64) {
+        self.count += 1;
+        if self.count.is_multiple_of(self.sample_every) {
+            self.samples.push(MatchRecord { key, r_ts, s_ts, emit_ms });
+        }
+        if emit_ms > self.last_emit_ms {
+            self.last_emit_ms = emit_ms;
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Discards matches entirely (kernel microbenchmarks).
+#[derive(Debug, Default)]
+pub struct NullSink {
+    count: u64,
+}
+
+impl Sink for NullSink {
+    #[inline]
+    fn push(&mut self, _key: Key, _r_ts: Ts, _s_ts: Ts, _emit_ms: f64) {
+        self.count += 1;
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_uses_later_input() {
+        let m = MatchRecord { key: 1, r_ts: 100, s_ts: 400, emit_ms: 450.0 };
+        assert_eq!(m.result_ts(), 400);
+        assert!((m.latency_ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_clamped_at_zero() {
+        let m = MatchRecord { key: 1, r_ts: 100, s_ts: 400, emit_ms: 399.0 };
+        assert_eq!(m.latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn collecting_sink_canonical_sorts() {
+        let mut s = CollectingSink::new();
+        s.push(2, 1, 1, 0.0);
+        s.push(1, 9, 9, 0.0);
+        assert_eq!(s.canonical(), vec![(1, 9, 9), (2, 1, 1)]);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn counting_sink_samples() {
+        let mut s = CountingSink::new(10);
+        for i in 0..100 {
+            s.push(1, 0, 0, i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.samples.len(), 10);
+        assert!((s.last_emit_ms - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_sink_sample_every_one_keeps_all() {
+        let mut s = CountingSink::new(1);
+        for _ in 0..5 {
+            s.push(1, 0, 0, 1.0);
+        }
+        assert_eq!(s.samples.len(), 5);
+    }
+
+    #[test]
+    fn counting_sink_zero_clamped() {
+        // sample_every = 0 would divide by zero; constructor clamps to 1.
+        let mut s = CountingSink::new(0);
+        s.push(1, 0, 0, 1.0);
+        assert_eq!(s.samples.len(), 1);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let mut s = NullSink::default();
+        s.push(1, 2, 3, 4.0);
+        assert_eq!(s.count(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! The tuple model of §2 / §4.2.2 of the paper.
+//!
+//! A tuple is `x = {t, k, v}`; the benchmark stores it in the narrow 64-bit
+//! `<key, payload>` layout of Balkesen et al., with the arrival timestamp
+//! carried as the payload. Keys and timestamps are both 32 bits, so a whole
+//! tuple packs into a single `u64`, which the sort-based algorithms exploit.
+
+/// Join key (4 bytes, per the paper's column layout).
+pub type Key = u32;
+
+/// Arrival timestamp in stream milliseconds since the start of the window's
+/// input (4 bytes; stored as the tuple payload, per §4.2.2).
+pub type Ts = u32;
+
+/// A stream tuple: 64 bits total, `<key, payload=timestamp>`.
+///
+/// ```
+/// use iawj_common::Tuple;
+///
+/// let t = Tuple::new(42, 7);
+/// assert_eq!(Tuple::unpack(t.pack()), t);
+/// // Packed ordering is (key, ts):
+/// assert!(Tuple::new(1, 999).pack() < Tuple::new(2, 0).pack());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(C)]
+pub struct Tuple {
+    /// Join key.
+    pub key: Key,
+    /// Arrival timestamp (doubles as the payload).
+    pub ts: Ts,
+}
+
+impl Tuple {
+    /// Construct a tuple from key and timestamp.
+    #[inline]
+    pub const fn new(key: Key, ts: Ts) -> Self {
+        Tuple { key, ts }
+    }
+
+    /// Pack into a `u64` ordered by `(key, ts)`: the key occupies the high
+    /// 32 bits so that an ordinary integer sort of packed values is exactly a
+    /// sort by key with ties broken by timestamp.
+    #[inline]
+    pub const fn pack(self) -> u64 {
+        ((self.key as u64) << 32) | self.ts as u64
+    }
+
+    /// Inverse of [`Tuple::pack`].
+    #[inline]
+    pub const fn unpack(raw: u64) -> Self {
+        Tuple {
+            key: (raw >> 32) as u32,
+            ts: raw as u32,
+        }
+    }
+}
+
+/// Sort a slice of tuples by `(key, ts)` — the canonical order every
+/// sort-based join in the study works with.
+pub fn sort_by_key(tuples: &mut [Tuple]) {
+    tuples.sort_unstable_by_key(|t| t.pack());
+}
+
+/// True if the slice is sorted by `(key, ts)`.
+pub fn is_sorted_by_key(tuples: &[Tuple]) -> bool {
+    tuples.windows(2).all(|w| w[0].pack() <= w[1].pack())
+}
+
+/// True if the slice is sorted by arrival timestamp — the invariant every
+/// generated input stream must satisfy (§2: tuples arrive chronologically).
+pub fn is_sorted_by_ts(tuples: &[Tuple]) -> bool {
+    tuples.windows(2).all(|w| w[0].ts <= w[1].ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_64_bits() {
+        assert_eq!(std::mem::size_of::<Tuple>(), 8);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let t = Tuple::new(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(Tuple::unpack(t.pack()), t);
+    }
+
+    #[test]
+    fn pack_orders_by_key_then_ts() {
+        let a = Tuple::new(1, 999);
+        let b = Tuple::new(2, 0);
+        assert!(a.pack() < b.pack());
+        let c = Tuple::new(2, 1);
+        assert!(b.pack() < c.pack());
+    }
+
+    #[test]
+    fn sort_by_key_sorts() {
+        let mut v = vec![
+            Tuple::new(3, 0),
+            Tuple::new(1, 5),
+            Tuple::new(1, 2),
+            Tuple::new(2, 9),
+        ];
+        sort_by_key(&mut v);
+        assert!(is_sorted_by_key(&v));
+        assert_eq!(v[0], Tuple::new(1, 2));
+        assert_eq!(v[1], Tuple::new(1, 5));
+    }
+
+    #[test]
+    fn sortedness_predicates() {
+        let v = vec![Tuple::new(5, 0), Tuple::new(1, 1), Tuple::new(2, 1)];
+        assert!(is_sorted_by_ts(&v));
+        assert!(!is_sorted_by_key(&v));
+        assert!(is_sorted_by_ts(&[]));
+        assert!(is_sorted_by_key(&[]));
+    }
+}

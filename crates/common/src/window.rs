@@ -1,0 +1,70 @@
+//! Time-based windows (Definition 1 of the paper): an arbitrary time range
+//! `[start, start + len)` of length `w` milliseconds. The intra-window join
+//! operates on exactly one such window regardless of window type.
+
+use crate::tuple::Ts;
+
+/// A single time window `[start, start + len_ms)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Inclusive start timestamp (stream milliseconds).
+    pub start: Ts,
+    /// Window length `w` in milliseconds. A length of 0 denotes the
+    /// data-at-rest case (DEBS): every tuple carries timestamp `start`.
+    pub len_ms: Ts,
+}
+
+impl Window {
+    /// Window starting at time 0, the configuration used throughout the
+    /// paper's evaluation.
+    pub const fn of_len(len_ms: Ts) -> Self {
+        Window { start: 0, len_ms }
+    }
+
+    /// Exclusive end timestamp. For zero-length (data-at-rest) windows the
+    /// single admissible timestamp is `start` itself.
+    #[inline]
+    pub fn end(&self) -> Ts {
+        self.start.saturating_add(self.len_ms)
+    }
+
+    /// Does a tuple with this arrival timestamp belong to the window?
+    #[inline]
+    pub fn contains(&self, ts: Ts) -> bool {
+        if self.len_ms == 0 {
+            ts == self.start
+        } else {
+            ts >= self.start && ts < self.end()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_containment() {
+        let w = Window::of_len(1000);
+        assert!(w.contains(0));
+        assert!(w.contains(999));
+        assert!(!w.contains(1000));
+    }
+
+    #[test]
+    fn zero_length_window_is_data_at_rest() {
+        let w = Window::of_len(0);
+        assert!(w.contains(0));
+        assert!(!w.contains(1));
+    }
+
+    #[test]
+    fn offset_window() {
+        let w = Window { start: 500, len_ms: 250 };
+        assert!(!w.contains(499));
+        assert!(w.contains(500));
+        assert!(w.contains(749));
+        assert!(!w.contains(750));
+        assert_eq!(w.end(), 750);
+    }
+}

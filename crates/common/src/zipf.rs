@@ -1,0 +1,196 @@
+//! Zipf-distributed sampling for key skew (`skew_key`) and arrival-time skew
+//! (`skew_ts`), the two workload knobs of Table 1.
+//!
+//! For the modest domain sizes of the study (≤ a few million ranks) we
+//! precompute the cumulative distribution once and sample by binary search —
+//! O(log n) per draw, exact, and allocation-free after construction. A
+//! `theta = 0` exponent degenerates to the uniform distribution, matching the
+//! paper's use of "zipf(0)" for unskewed workloads.
+
+use crate::rng::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n`.
+///
+/// Rank `r` is drawn with probability proportional to `1 / (r+1)^θ`, so rank 0
+/// is the most popular item.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[r]` = P(rank ≤ r). Last entry is 1.0.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative / non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf exponent must be finite and non-negative, got {theta}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        if theta == 0.0 {
+            // Uniform special case, exact.
+            let step = 1.0 / n as f64;
+            for r in 0..n {
+                acc = (r + 1) as f64 * step;
+                cdf.push(acc);
+            }
+        } else {
+            for r in 0..n {
+                acc += 1.0 / ((r + 1) as f64).powf(theta);
+                cdf.push(acc);
+            }
+            let norm = 1.0 / acc;
+            for p in &mut cdf {
+                *p *= norm;
+            }
+        }
+        // Defend binary search against floating-point round-off at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, theta }
+    }
+
+    /// Number of ranks in the domain.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent this sampler was built with.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `0..domain()`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first rank whose cdf exceeds u.
+        self.cdf.partition_point(|&p| p <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a given rank (for tests and stats estimation).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// Estimate the Zipf exponent of an observed key-frequency distribution by a
+/// least-squares fit of log(freq) against log(rank) — the same rank-frequency
+/// regression commonly used to report `skew_key` figures like Table 3's.
+///
+/// Returns 0.0 when there are fewer than two distinct frequencies to fit.
+pub fn estimate_theta(frequencies: &mut [u64]) -> f64 {
+    frequencies.sort_unstable_by(|a, b| b.cmp(a));
+    let pts: Vec<(f64, f64)> = frequencies
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(r, &f)| (((r + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    // Slope of the log-log fit is -theta.
+    let slope = (n * sxy - sx * sy) / denom;
+    (-slope).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_with_high_theta() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = Rng::new(2);
+        let hits0 = (0..10_000).filter(|_| z.sample(&mut rng) == 0).count();
+        // With theta=1.5 over 1000 ranks, rank 0 has ~38% of the mass.
+        assert!(hits0 > 3_000, "rank-0 hits: {hits0}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &theta in &[0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(100, theta);
+            let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta={theta} total={total}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Rng::new(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn theta_estimation_recovers_exponent_roughly() {
+        let z = Zipf::new(500, 1.0);
+        let mut rng = Rng::new(5);
+        let mut freq = vec![0u64; 500];
+        for _ in 0..200_000 {
+            freq[z.sample(&mut rng)] += 1;
+        }
+        let est = estimate_theta(&mut freq);
+        assert!(
+            (est - 1.0).abs() < 0.25,
+            "estimated theta {est} too far from 1.0"
+        );
+    }
+
+    #[test]
+    fn theta_estimation_of_uniform_is_near_zero() {
+        let mut freq = vec![1000u64; 64];
+        let est = estimate_theta(&mut freq);
+        assert!(est < 0.05, "uniform data estimated as theta={est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! An adaptive IaWJ operator — the paper's first "future work" direction
+//! (§7): *"developing an adaptive IaWJ algorithm that considers all the
+//! factors including workload, metrics and hardware"*.
+//!
+//! This is the straightforward realisation the decision tree enables: sniff
+//! the workload characteristics from a prefix of each stream (the part a
+//! router has seen before committing to a plan), feed them through the
+//! Figure 4 tree, and dispatch to the recommended algorithm. It is a
+//! baseline for that research direction, not a contribution claim — but it
+//! already never loses badly, because each leaf of the tree is the paper's
+//! measured winner for that region.
+
+use crate::algo::Algorithm;
+use crate::config::RunConfig;
+use crate::decision::{recommend, Objective, Thresholds, Workload};
+use crate::output::RunResult;
+use crate::runner::execute;
+use iawj_common::zipf::estimate_theta;
+use iawj_common::{Rate, Tuple};
+use iawj_datagen::Dataset;
+use std::collections::HashMap;
+
+/// Workload characteristics estimated from a stream prefix.
+fn sniff_stream(tuples: &[Tuple], frac: f64) -> (Rate, f64, f64) {
+    if tuples.is_empty() {
+        return (Rate::Infinite, 0.0, 0.0);
+    }
+    let n = ((tuples.len() as f64 * frac).ceil() as usize).clamp(1, tuples.len());
+    let prefix = &tuples[..n];
+    let span_ms = prefix.last().map(|t| t.ts).unwrap_or(0) as f64;
+    let rate = if span_ms <= 0.0 {
+        Rate::Infinite
+    } else {
+        Rate::PerMs(n as f64 / span_ms)
+    };
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for t in prefix {
+        *freq.entry(t.key).or_insert(0) += 1;
+    }
+    // Duplication must be extrapolated, not read off the prefix: a short
+    // prefix of a high-duplication stream shows few repeats per key even
+    // though it covers most of the (small) key domain. If the prefix saw no
+    // repeats at all, treat the stream as unique-keyed; otherwise assume
+    // the prefix covered the domain and spread the full stream over it.
+    let dupe = if freq.len() == n {
+        1.0
+    } else {
+        tuples.len() as f64 / freq.len().max(1) as f64
+    };
+    let mut counts: Vec<u64> = freq.into_values().collect();
+    let skew = estimate_theta(&mut counts);
+    (rate, dupe, skew)
+}
+
+/// Estimate the Figure 4 inputs from a prefix of both streams.
+///
+/// `sample_frac` is the fraction of each stream inspected (an adaptive
+/// router would buffer about this much before committing to a plan). Note
+/// the total-tuple estimate extrapolates the prefix rate over the window,
+/// so data-at-rest inputs use their true cardinalities.
+pub fn sniff(ds: &Dataset, sample_frac: f64, cores: usize) -> Workload {
+    let (rate_r, dupe_r, skew_r) = sniff_stream(&ds.r, sample_frac);
+    let (rate_s, dupe_s, skew_s) = sniff_stream(&ds.s, sample_frac);
+    Workload {
+        rate_r,
+        rate_s,
+        dupe: dupe_r.max(dupe_s),
+        skew_key: skew_r.max(skew_s),
+        total_tuples: ds.total_inputs(),
+        cores,
+    }
+}
+
+/// Outcome of an adaptive run: which algorithm the tree picked, plus the
+/// usual run result.
+pub struct AdaptiveOutcome {
+    /// The workload descriptor the sniffer produced.
+    pub descriptor: Workload,
+    /// The chosen algorithm.
+    pub chosen: Algorithm,
+    /// The run result.
+    pub result: RunResult,
+}
+
+/// Sniff, decide, and execute with custom thresholds.
+pub fn execute_adaptive_with(
+    ds: &Dataset,
+    cfg: &RunConfig,
+    objective: Objective,
+    thresholds: &Thresholds,
+    sample_frac: f64,
+) -> AdaptiveOutcome {
+    let descriptor = sniff(ds, sample_frac, cfg.threads);
+    let chosen = recommend(&descriptor, objective, thresholds);
+    let result = execute(chosen, ds, cfg);
+    AdaptiveOutcome { descriptor, chosen, result }
+}
+
+/// Sniff, decide, and execute with default thresholds and a 5% sample.
+///
+/// ```
+/// use iawj_core::adaptive::execute_adaptive;
+/// use iawj_core::decision::Objective;
+/// use iawj_core::RunConfig;
+/// use iawj_datagen::MicroSpec;
+///
+/// let ds = MicroSpec::static_counts(2000, 2000).dupe(40).generate();
+/// let out = execute_adaptive(&ds, &RunConfig::with_threads(2), Objective::Throughput);
+/// // Data at rest with heavy duplication lands on a lazy sort join.
+/// assert!(out.chosen.is_lazy() && out.chosen.is_sort_based());
+/// assert_eq!(out.result.matches, 40 * 2000);
+/// ```
+pub fn execute_adaptive(ds: &Dataset, cfg: &RunConfig, objective: Objective) -> AdaptiveOutcome {
+    execute_adaptive_with(ds, cfg, objective, &Thresholds::default(), 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::match_count;
+    use iawj_datagen::MicroSpec;
+
+    #[test]
+    fn sniffs_static_data_as_infinite_rate() {
+        let ds = MicroSpec::static_counts(1000, 1000).dupe(50).seed(1).generate();
+        let w = sniff(&ds, 0.05, 8);
+        assert_eq!(w.rate_r, Rate::Infinite);
+        assert!(w.dupe > 10.0, "dupe estimate {}", w.dupe);
+    }
+
+    #[test]
+    fn sniffs_streaming_rate_roughly() {
+        let ds = MicroSpec::with_rates(100.0, 100.0).seed(2).generate();
+        let w = sniff(&ds, 0.10, 8);
+        match w.rate_r {
+            Rate::PerMs(v) => assert!((50.0..200.0).contains(&v), "rate estimate {v}"),
+            Rate::Infinite => panic!("streaming input sniffed as static"),
+        }
+    }
+
+    #[test]
+    fn adaptive_run_is_correct_and_records_choice() {
+        let ds = MicroSpec::static_counts(2000, 2000).dupe(40).seed(3).generate();
+        let cfg = RunConfig::with_threads(4);
+        let out = execute_adaptive(&ds, &cfg, Objective::Throughput);
+        assert_eq!(out.result.matches, match_count(&ds.r, &ds.s, ds.window));
+        assert_eq!(out.chosen, out.result.algorithm);
+        // Static + high duplication must land on a lazy sort join.
+        assert!(out.chosen.is_lazy() && out.chosen.is_sort_based(), "{}", out.chosen);
+    }
+
+    #[test]
+    fn adaptive_picks_eager_for_slow_streams() {
+        let ds = MicroSpec::with_rates(3.0, 3.0).seed(4).generate();
+        let cfg = RunConfig::with_threads(2).speedup(500.0);
+        let out = execute_adaptive(&ds, &cfg, Objective::Latency);
+        assert_eq!(out.chosen, Algorithm::ShjJm);
+        assert_eq!(out.result.matches, match_count(&ds.r, &ds.s, ds.window));
+    }
+
+    #[test]
+    fn empty_dataset_does_not_panic() {
+        let ds = MicroSpec::static_counts(1, 1).seed(5).generate();
+        let cfg = RunConfig::with_threads(1);
+        let out = execute_adaptive(&ds, &cfg, Objective::Throughput);
+        assert!(out.result.matches <= 1);
+    }
+}

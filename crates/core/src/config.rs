@@ -1,0 +1,233 @@
+//! Run configuration: thread count, sort backend, the per-algorithm tuning
+//! knobs of §5.5, and harness controls (time compression, match sampling).
+
+use iawj_exec::SortBackend;
+
+/// NPJ knobs (latching ablation; see DESIGN.md §5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NpjConfig {
+    /// Use a striped-latch shared table with this many latches instead of
+    /// the default per-bucket latches.
+    pub striped_latches: Option<usize>,
+}
+
+/// PRJ knobs (§5.5, Figure 18).
+#[derive(Clone, Copy, Debug)]
+pub struct PrjConfig {
+    /// Total radix bits `#r`; the paper sweeps 8..18 and settles on ~10.
+    pub radix_bits: u32,
+    /// Split partitioning into two passes when `radix_bits` exceeds this
+    /// (keeps first-pass fan-out within TLB reach, per Balkesen et al.).
+    pub max_bits_per_pass: u32,
+    /// Scatter through software write-combining buffers (Balkesen et al.'s
+    /// SWWCB) instead of writing tuples directly to their partitions.
+    pub buffered_scatter: bool,
+}
+
+impl Default for PrjConfig {
+    fn default() -> Self {
+        PrjConfig { radix_bits: 10, max_bits_per_pass: 8, buffered_scatter: false }
+    }
+}
+
+/// PMJ knobs (§5.5, Figure 15).
+#[derive(Clone, Copy, Debug)]
+pub struct PmjConfig {
+    /// Sorting step size δ: the fraction of a worker's expected input
+    /// accumulated before each sort+join step. The paper finds 20% optimal.
+    pub delta: f64,
+    /// Progressive merging: cross-join each new run pair against all
+    /// earlier runs immediately instead of in one final merge phase —
+    /// closer to Dittrich et al.'s original merge-on-demand, trading total
+    /// cost for earlier results (ablation; see docs/algorithms.md).
+    pub eager_merge: bool,
+}
+
+impl Default for PmjConfig {
+    fn default() -> Self {
+        PmjConfig { delta: 0.20, eager_merge: false }
+    }
+}
+
+/// Join-biclique knobs (§5.5, Figure 16).
+#[derive(Clone, Copy, Debug)]
+pub struct JbConfig {
+    /// Core-group size `g`. `1` degenerates to hash partitioning; `threads`
+    /// degenerates to a JM-like scheme. Must divide the thread count.
+    pub group_size: usize,
+}
+
+impl Default for JbConfig {
+    fn default() -> Self {
+        JbConfig { group_size: 2 }
+    }
+}
+
+/// Join-matrix knobs (§5.5, Figure 17).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JmConfig {
+    /// Physically copy assigned tuples into per-worker buffers before
+    /// processing ("w/ partitioning") instead of reading through the shared
+    /// input arrays ("pointer passing", the paper's default).
+    pub physical_partition: bool,
+}
+
+/// Hybrid-engine knobs (the eager/lazy orchestration extension).
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// A single pull delivering a batch at least this full counts as
+    /// dispatcher saturation and flips the engine into deferred (bulk)
+    /// mode. Defaults to the pull batch size, so the engine stays eager
+    /// under light load and goes bulk under backlog.
+    pub defer_at_batch: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { defer_at_batch: crate::eager::BATCH }
+    }
+}
+
+/// Complete configuration of one run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Worker threads. MWay/MPass require a power of two (§5); the runner
+    /// enforces it.
+    pub threads: usize,
+    /// Sort backend for every sort-based algorithm (Figure 21's switch).
+    pub sort: SortBackend,
+    /// Stream-time speedup (1.0 = real-time replay; >1 compresses waits).
+    pub speedup: f64,
+    /// Record one in `sample_every` matches for latency/progressiveness.
+    pub sample_every: u64,
+    /// Record a memory-consumption sample roughly every this many processed
+    /// tuples per worker (0 disables the gauge).
+    pub mem_sample_every: usize,
+    /// NPJ knobs.
+    pub npj: NpjConfig,
+    /// PRJ knobs.
+    pub prj: PrjConfig,
+    /// PMJ knobs.
+    pub pmj: PmjConfig,
+    /// JB knobs.
+    pub jb: JbConfig,
+    /// JM knobs.
+    pub jm: JmConfig,
+    /// Hybrid-extension knobs.
+    pub hybrid: HybridConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 4,
+            sort: SortBackend::default(),
+            speedup: 1.0,
+            sample_every: 64,
+            mem_sample_every: 4096,
+            npj: NpjConfig::default(),
+            prj: PrjConfig::default(),
+            pmj: PmjConfig::default(),
+            jb: JbConfig::default(),
+            jm: JmConfig::default(),
+            hybrid: HybridConfig::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Config with a given thread count, defaults elsewhere.
+    pub fn with_threads(threads: usize) -> Self {
+        RunConfig { threads, ..Default::default() }
+    }
+
+    /// Builder: set the sort backend.
+    pub fn sort(mut self, sort: SortBackend) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Builder: set time compression.
+    pub fn speedup(mut self, speedup: f64) -> Self {
+        self.speedup = speedup;
+        self
+    }
+
+    /// Builder: record every match (correctness tests).
+    pub fn record_all(mut self) -> Self {
+        self.sample_every = 1;
+        self
+    }
+
+    /// Effective JB group size: clamped to divide `threads`.
+    pub fn jb_group_size(&self) -> usize {
+        let g = self.jb.group_size.clamp(1, self.threads);
+        // Largest divisor of `threads` not exceeding g.
+        (1..=g).rev().find(|d| self.threads.is_multiple_of(*d)).unwrap_or(1)
+    }
+
+    /// JM matrix shape `(rows, cols)` with `rows*cols = threads`, as square
+    /// as possible (the Figure 2a matrix).
+    pub fn jm_shape(&self) -> (usize, usize) {
+        let t = self.threads;
+        let mut r = (t as f64).sqrt() as usize;
+        while r > 1 && !t.is_multiple_of(r) {
+            r -= 1;
+        }
+        (r.max(1), t / r.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = RunConfig::default();
+        assert_eq!(c.prj.radix_bits, 10);
+        assert!((c.pmj.delta - 0.2).abs() < 1e-9);
+        assert_eq!(c.speedup, 1.0);
+    }
+
+    #[test]
+    fn jm_shape_is_a_factorisation() {
+        for t in 1..=16 {
+            let c = RunConfig::with_threads(t);
+            let (r, s) = c.jm_shape();
+            assert_eq!(r * s, t, "threads={t}");
+        }
+        assert_eq!(RunConfig::with_threads(4).jm_shape(), (2, 2));
+        assert_eq!(RunConfig::with_threads(8).jm_shape(), (2, 4));
+        assert_eq!(RunConfig::with_threads(6).jm_shape(), (2, 3));
+        assert_eq!(RunConfig::with_threads(7).jm_shape(), (1, 7));
+    }
+
+    #[test]
+    fn jb_group_size_divides_threads() {
+        let mut c = RunConfig::with_threads(8);
+        for g in 1..=10 {
+            c.jb.group_size = g;
+            let eff = c.jb_group_size();
+            assert_eq!(8 % eff, 0, "g={g} eff={eff}");
+            assert!(eff <= g.min(8));
+        }
+        c.jb.group_size = 3;
+        assert_eq!(c.jb_group_size(), 2, "largest divisor of 8 that is <= 3");
+        c.threads = 6;
+        c.jb.group_size = 6;
+        assert_eq!(c.jb_group_size(), 6);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = RunConfig::with_threads(2)
+            .sort(SortBackend::Scalar)
+            .speedup(10.0)
+            .record_all();
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.sort, SortBackend::Scalar);
+        assert_eq!(c.sample_every, 1);
+        assert!((c.speedup - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Join-Biclique worker assignment (Figure 2b).
+
+use super::View;
+use iawj_common::Tuple;
+
+/// The views of worker `w` under JB with group size `g` over `threads`
+/// workers: worker `w` is member `w % g` of core group `w / g`. Its R view
+/// is the round-robin-owned slice of the group's key class (with dispatch
+/// logging); its S view replicates the whole class.
+pub fn worker_views<'a>(
+    r: &'a [Tuple],
+    s: &'a [Tuple],
+    threads: usize,
+    g: usize,
+    w: usize,
+) -> (View<'a>, View<'a>) {
+    assert!(g > 0 && threads.is_multiple_of(g) && w < threads);
+    let groups = threads / g;
+    let group = w / g;
+    let member = w % g;
+    (
+        View::class(r, groups, group, g, member, true),
+        View::class(s, groups, group, g, member, false),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::EventClock;
+    use crate::distribute::Take;
+
+    fn drain(v: &mut View<'_>, clock: &EventClock) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while !matches!(v.take_batch(clock, 64, &mut out), Take::Exhausted) {}
+        out
+    }
+
+    #[test]
+    fn every_pair_meets_exactly_once() {
+        let r: Vec<Tuple> = (0..50).map(|k| Tuple::new(k % 20, 0)).collect();
+        let s: Vec<Tuple> = (0..60).map(|k| Tuple::new(k % 20, 0)).collect();
+        let clock = EventClock::ungated();
+        let (threads, g) = (6usize, 2usize);
+        let mut pair_counts = std::collections::HashMap::new();
+        for w in 0..threads {
+            let (mut rv, mut sv) = worker_views(&r, &s, threads, g, w);
+            let rt = drain(&mut rv, &clock);
+            let st = drain(&mut sv, &clock);
+            for a in &rt {
+                for b in &st {
+                    if a.key == b.key {
+                        // Identify pairs by position via the dispatch log
+                        // and s ordering; keys suffice here because ts=0.
+                        *pair_counts.entry((a.key, b.key)).or_insert(0usize) += 1;
+                    }
+                }
+            }
+        }
+        // Reference: per-key count product.
+        let mut expect = std::collections::HashMap::new();
+        for a in &r {
+            for b in &s {
+                if a.key == b.key {
+                    *expect.entry((a.key, b.key)).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert_eq!(pair_counts, expect);
+    }
+
+    #[test]
+    fn g_equal_threads_is_single_group() {
+        let r: Vec<Tuple> = (0..40).map(|k| Tuple::new(k, 0)).collect();
+        let s: Vec<Tuple> = (0..40).map(|k| Tuple::new(k, 0)).collect();
+        let clock = EventClock::ungated();
+        let threads = 4;
+        // g = threads: R partitioned over all workers, S fully replicated —
+        // the JM-degenerate configuration of §5.5.
+        let mut r_total = 0;
+        for w in 0..threads {
+            let (mut rv, mut sv) = worker_views(&r, &s, threads, threads, w);
+            let rt = drain(&mut rv, &clock);
+            let st = drain(&mut sv, &clock);
+            r_total += rt.len();
+            assert_eq!(st.len(), 40, "S replicated to every worker");
+        }
+        assert_eq!(r_total, 40, "R partitioned exactly once");
+    }
+
+    #[test]
+    fn g_one_is_pure_hash_partitioning() {
+        let r: Vec<Tuple> = (0..100).map(|k| Tuple::new(k, 0)).collect();
+        let clock = EventClock::ungated();
+        let threads = 4;
+        let mut total = 0;
+        for w in 0..threads {
+            let (mut rv, mut sv) = worker_views(&r, &r, threads, 1, w);
+            let rt = drain(&mut rv, &clock);
+            let st = drain(&mut sv, &clock);
+            // With g=1 both sides of a worker see the same class subset.
+            assert_eq!(rt.len(), st.len());
+            total += rt.len();
+        }
+        assert_eq!(total, 100);
+    }
+}

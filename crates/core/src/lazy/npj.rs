@@ -1,0 +1,171 @@
+//! No-Partitioning hash Join (NPJ), after Blanas et al.
+//!
+//! All threads cooperatively build one shared hash table over R (equisized
+//! input chunks, per-bucket latches), synchronise on a barrier, then
+//! concurrently probe it with their chunks of S. The shared table is the
+//! point: no partitioning cost, but bucket contention and a table that can
+//! exceed the last-level cache (§5.3.2, §5.6).
+
+use crate::clock::EventClock;
+use crate::config::RunConfig;
+use crate::lazy::EmitClock;
+use crate::output::WorkerOut;
+use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_exec::pool::{barrier, chunk_range};
+use iawj_exec::{run_workers, PhaseTimer, SharedTable, StripedTable};
+
+/// The shared table behind NPJ, with the latching scheme chosen by
+/// [`crate::config::NpjConfig`]: per-bucket latches (the default, matching
+/// the paper's bucket-chain table) or striped latches (the ablation).
+enum Table {
+    PerBucket(SharedTable),
+    Striped(StripedTable),
+}
+
+impl Table {
+    fn build(expected: usize, cfg: &RunConfig) -> Self {
+        match cfg.npj.striped_latches {
+            Some(stripes) => Table::Striped(StripedTable::with_capacity(expected, stripes)),
+            None => Table::PerBucket(SharedTable::with_capacity(expected)),
+        }
+    }
+
+    #[inline]
+    fn insert(&self, key: u32, ts: u32) {
+        match self {
+            Table::PerBucket(t) => t.insert(key, ts),
+            Table::Striped(t) => t.insert(key, ts),
+        }
+    }
+
+    #[inline]
+    fn probe(&self, key: u32, f: impl FnMut(u32)) {
+        match self {
+            Table::PerBucket(t) => t.probe(key, f),
+            Table::Striped(t) => t.probe(key, f),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Table::PerBucket(t) => t.bytes(),
+            Table::Striped(t) => t.bytes(),
+        }
+    }
+}
+
+/// Run NPJ. `arrive_by` is the arrival timestamp of the window's last
+/// tuple; the lazy approach waits for it before starting.
+pub fn run(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+) -> Vec<WorkerOut> {
+    let threads = cfg.threads;
+    let table = Table::build(r.len(), cfg);
+    let build_done = barrier(threads);
+    run_workers(threads, |tid| {
+        let mut out = WorkerOut::new(cfg.sample_every);
+        let mut timer = PhaseTimer::start(Phase::Wait);
+        clock.wait_until(arrive_by);
+
+        timer.switch_to(Phase::BuildSort);
+        for t in &r[chunk_range(r.len(), threads, tid)] {
+            table.insert(t.key, t.ts);
+        }
+        timer.switch_to(Phase::Other);
+        build_done.wait();
+        if tid == 0 && cfg.mem_sample_every > 0 {
+            out.mem_samples.push((clock.now_ms(), table.bytes()));
+        }
+
+        timer.switch_to(Phase::Probe);
+        let mut emit = EmitClock::new(clock);
+        for t in &s[chunk_range(s.len(), threads, tid)] {
+            let now = emit.now();
+            table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+        }
+        out.breakdown = timer.finish();
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::nested_loop_join;
+    use iawj_common::{Rng, Window};
+
+    fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let r = random_stream(500, 64, 1);
+        let s = random_stream(700, 64, 2);
+        let cfg = RunConfig::with_threads(4).record_all();
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let mut got: Vec<_> = outs
+            .iter()
+            .flat_map(|w| w.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let r = random_stream(100, 8, 3);
+        let s = random_stream(100, 8, 4);
+        let cfg = RunConfig::with_threads(1).record_all();
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let total: u64 = outs.iter().map(|w| w.sink.count()).sum();
+        assert_eq!(
+            total,
+            nested_loop_join(&r, &s, Window::of_len(64)).len() as u64
+        );
+    }
+
+    #[test]
+    fn empty_inputs_produce_nothing() {
+        let cfg = RunConfig::with_threads(2).record_all();
+        let clock = EventClock::ungated();
+        let outs = run(&[], &[], &cfg, &clock, 0);
+        assert_eq!(outs.iter().map(|w| w.sink.count()).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn striped_latch_ablation_is_correct() {
+        let r = random_stream(800, 32, 7);
+        let s = random_stream(800, 32, 8);
+        let mut cfg = RunConfig::with_threads(4).record_all();
+        cfg.npj.striped_latches = Some(64);
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let mut got: Vec<_> = outs
+            .iter()
+            .flat_map(|w| w.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn breakdown_has_probe_time() {
+        let r = random_stream(2000, 16, 5);
+        let s = random_stream(2000, 16, 6);
+        let cfg = RunConfig::with_threads(2);
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let total: u64 = outs.iter().map(|w| w.breakdown[Phase::Probe]).sum();
+        assert!(total > 0, "probe phase must be timed");
+        let merge: u64 = outs.iter().map(|w| w.breakdown[Phase::Merge]).sum();
+        assert_eq!(merge, 0, "hash join has no merge phase");
+    }
+}

@@ -1,0 +1,212 @@
+//! Parallel Radix Join (PRJ), after Kim et al. / Balkesen et al.
+//!
+//! Both inputs are radix-partitioned on the low `#r` key bits so each
+//! R-partition fits in cache; partitions then get joined independently with
+//! a cache-resident build+probe, pulled from a shared work queue. The first
+//! pass is a cooperative parallel partition (per-thread histograms → prefix
+//! sums → contention-free scatter); when `#r` exceeds the per-pass budget a
+//! second, thread-local refinement pass runs inside the work queue, exactly
+//! like the original's two-pass scheme.
+
+use crate::clock::EventClock;
+use crate::config::RunConfig;
+use crate::lazy::{EmitClock, Slots};
+use crate::output::WorkerOut;
+use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_exec::pool::{barrier, chunk_range};
+use iawj_exec::radix::{histogram, partition_seq, ScatterPlan, SharedOut};
+use iawj_exec::{run_workers, LocalTable, PhaseTimer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run PRJ.
+pub fn run(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+) -> Vec<WorkerOut> {
+    let threads = cfg.threads;
+    let bits_total = cfg.prj.radix_bits.max(1);
+    let bits1 = bits_total.min(cfg.prj.max_bits_per_pass).max(1);
+    let bits2 = bits_total - bits1;
+
+    let r_hists: Slots<Vec<u32>> = Slots::new(threads);
+    let s_hists: Slots<Vec<u32>> = Slots::new(threads);
+    let plans: Slots<(ScatterPlan, SharedOut, ScatterPlan, SharedOut)> = Slots::new(1);
+    let hist_done = barrier(threads);
+    let plan_done = barrier(threads);
+    let scatter_done = barrier(threads);
+    let next_partition = AtomicUsize::new(0);
+
+    run_workers(threads, |tid| {
+        let mut out = WorkerOut::new(cfg.sample_every);
+        let mut timer = PhaseTimer::start(Phase::Wait);
+        clock.wait_until(arrive_by);
+
+        // --- Pass 1: cooperative parallel partition of R and S ---
+        timer.switch_to(Phase::Partition);
+        r_hists.set(tid, histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1));
+        s_hists.set(tid, histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1));
+        hist_done.wait();
+        if tid == 0 {
+            let rh: Vec<Vec<u32>> = (0..threads).map(|i| r_hists.get(i).clone()).collect();
+            let sh: Vec<Vec<u32>> = (0..threads).map(|i| s_hists.get(i).clone()).collect();
+            let rp = ScatterPlan::from_histograms(&rh, 0, bits1);
+            let sp = ScatterPlan::from_histograms(&sh, 0, bits1);
+            let ro = SharedOut::new(r.len());
+            let so = SharedOut::new(s.len());
+            plans.set(0, (rp, ro, sp, so));
+        }
+        plan_done.wait();
+        let (r_plan, r_out, s_plan, s_out) = plans.get(0);
+        if cfg.prj.buffered_scatter {
+            r_plan.scatter_chunk_buffered(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
+            s_plan.scatter_chunk_buffered(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
+        } else {
+            r_plan.scatter_chunk(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
+            s_plan.scatter_chunk(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
+        }
+        timer.switch_to(Phase::Other);
+        scatter_done.wait();
+        // SAFETY: the barrier orders all scatter writes before these reads.
+        let r_part: &[Tuple] = unsafe { r_out.as_slice() };
+        let s_part: &[Tuple] = unsafe { s_out.as_slice() };
+
+        if tid == 0 && cfg.mem_sample_every > 0 {
+            // Partitioned copies of both inputs are PRJ's footprint.
+            out.mem_samples
+                .push((clock.now_ms(), (r.len() + s.len()) * std::mem::size_of::<Tuple>()));
+        }
+
+        // --- Per-partition cache-resident joins from a shared queue ---
+        let fanout1 = 1usize << bits1;
+        let mut emit = EmitClock::new(clock);
+        loop {
+            let p = next_partition.fetch_add(1, Ordering::Relaxed);
+            if p >= fanout1 {
+                break;
+            }
+            let rp = &r_part[r_plan.bounds[p]..r_plan.bounds[p + 1]];
+            let sp = &s_part[s_plan.bounds[p]..s_plan.bounds[p + 1]];
+            if rp.is_empty() || sp.is_empty() {
+                continue;
+            }
+            if bits2 > 0 {
+                // --- Pass 2: thread-local refinement ---
+                timer.switch_to(Phase::Partition);
+                let rr = partition_seq(rp, bits1, bits2);
+                let ss = partition_seq(sp, bits1, bits2);
+                for q in 0..rr.fanout() {
+                    join_partition(rr.partition(q), ss.partition(q), &mut timer, &mut emit, &mut out);
+                }
+            } else {
+                join_partition(rp, sp, &mut timer, &mut emit, &mut out);
+            }
+        }
+        out.breakdown = timer.finish();
+        out
+    })
+}
+
+/// Cache-resident hash join of one partition pair: build a private table
+/// over the R side, probe with the S side.
+fn join_partition(
+    rp: &[Tuple],
+    sp: &[Tuple],
+    timer: &mut PhaseTimer,
+    emit: &mut EmitClock<'_>,
+    out: &mut WorkerOut,
+) {
+    if rp.is_empty() || sp.is_empty() {
+        return;
+    }
+    timer.switch_to(Phase::BuildSort);
+    let mut table = LocalTable::with_capacity(rp.len());
+    for t in rp {
+        table.insert(t.key, t.ts);
+    }
+    timer.switch_to(Phase::Probe);
+    for t in sp {
+        let now = emit.now();
+        table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::nested_loop_join;
+    use iawj_common::{Rng, Window};
+
+    fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+    }
+
+    fn canonical(outs: &[WorkerOut]) -> Vec<(u32, u32, u32)> {
+        let mut got: Vec<_> = outs
+            .iter()
+            .flat_map(|w| w.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)))
+            .collect();
+        got.sort_unstable();
+        got
+    }
+
+    #[test]
+    fn matches_reference_single_pass() {
+        let r = random_stream(800, 256, 1);
+        let s = random_stream(600, 256, 2);
+        let mut cfg = RunConfig::with_threads(4).record_all();
+        cfg.prj.radix_bits = 6; // single pass
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn matches_reference_two_pass() {
+        let r = random_stream(3000, 1 << 12, 3);
+        let s = random_stream(3000, 1 << 12, 4);
+        let mut cfg = RunConfig::with_threads(3).record_all();
+        cfg.prj.radix_bits = 10;
+        cfg.prj.max_bits_per_pass = 6; // force a refinement pass
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn skewed_keys_still_correct() {
+        // Everything in one partition: exercises the empty-partition skips.
+        let r: Vec<Tuple> = (0..200).map(|i| Tuple::new(1024, i % 64)).collect();
+        let s: Vec<Tuple> = (0..100).map(|i| Tuple::new(1024, i % 64)).collect();
+        let cfg = RunConfig::with_threads(4).record_all();
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let total: u64 = outs.iter().map(|w| w.sink.count()).sum();
+        assert_eq!(total, 200 * 100);
+    }
+
+    #[test]
+    fn buffered_scatter_ablation_is_correct() {
+        let r = random_stream(2000, 1 << 10, 9);
+        let s = random_stream(2000, 1 << 10, 10);
+        let mut cfg = RunConfig::with_threads(4).record_all();
+        cfg.prj.buffered_scatter = true;
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn partition_phase_is_timed() {
+        let r = random_stream(5000, 512, 5);
+        let s = random_stream(5000, 512, 6);
+        let cfg = RunConfig::with_threads(2);
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let part: u64 = outs.iter().map(|w| w.breakdown[Phase::Partition]).sum();
+        assert!(part > 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The three §4.1 performance metrics, computed from a [`RunResult`]'s
+//! match samples.
+
+use crate::output::RunResult;
+
+/// Quantile processing latency in stream ms (the paper reports the 95th
+/// percentile worst-case latency, after Karimov et al.). Computed over the
+/// sampled matches; `None` when no matches were sampled.
+pub fn latency_quantile_ms(result: &RunResult, q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if result.samples.is_empty() {
+        return None;
+    }
+    let mut lat: Vec<f64> = result.samples.iter().map(|m| m.latency_ms()).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+    Some(lat[idx])
+}
+
+/// Progressiveness curve: cumulative fraction of matches delivered as a
+/// function of elapsed stream time (§4.1). Returns `(elapsed_ms, fraction)`
+/// points, one per sample; sample `i` stands for match number
+/// `(i+1) × sample_every`, capped at the true total.
+pub fn progressiveness(result: &RunResult) -> Vec<(f64, f64)> {
+    if result.matches == 0 {
+        return Vec::new();
+    }
+    let total = result.matches as f64;
+    result
+        .samples
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let cum = ((i as u64 + 1) * result.sample_every).min(result.matches);
+            (m.emit_ms, cum as f64 / total)
+        })
+        .collect()
+}
+
+/// Stream time at which `fraction` of all matches had been delivered —
+/// e.g. the "time to 50% of matches" comparisons of §5.2. `None` when the
+/// curve never reaches the fraction (sampling granularity or no matches).
+pub fn time_to_fraction_ms(result: &RunResult, fraction: f64) -> Option<f64> {
+    progressiveness(result)
+        .into_iter()
+        .find(|&(_, f)| f >= fraction)
+        .map(|(t, _)| t)
+}
+
+/// Down-sample a progressiveness curve to at most `n` evenly spaced points
+/// (for printing Figure 6/9c/10c/12b series without flooding the output).
+pub fn thin_curve(curve: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if curve.len() <= n || n == 0 {
+        return curve.to_vec();
+    }
+    let step = curve.len() as f64 / n as f64;
+    let mut out: Vec<(f64, f64)> = (0..n)
+        .map(|i| curve[((i as f64 + 0.5) * step) as usize])
+        .collect();
+    // Always keep the final point: it anchors the 100% mark.
+    *out.last_mut().expect("n > 0") = *curve.last().expect("non-empty");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Algorithm;
+    use crate::output::WorkerOut;
+    use iawj_common::Sink;
+
+    fn run_with(samples: &[(f64, u32)], sample_every: u64, matches: u64) -> RunResult {
+        let mut w = WorkerOut::new(1); // record all pushes
+        for &(emit, arrival) in samples {
+            w.sink.push(1, arrival, arrival, emit);
+        }
+        let mut r = RunResult::merge(Algorithm::Npj, 100, sample_every, 100.0, vec![w]);
+        r.matches = matches; // simulate a counting sink that saw more
+        r
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        // Latencies 1..=100.
+        let samples: Vec<(f64, u32)> = (1..=100).map(|i| (i as f64, 0u32)).collect();
+        let r = run_with(&samples, 1, 100);
+        assert!((latency_quantile_ms(&r, 0.95).unwrap() - 95.0).abs() <= 1.0);
+        assert!((latency_quantile_ms(&r, 0.0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((latency_quantile_ms(&r, 1.0).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_none_without_samples() {
+        let r = run_with(&[], 1, 0);
+        assert!(latency_quantile_ms(&r, 0.95).is_none());
+    }
+
+    #[test]
+    fn progressiveness_reaches_one() {
+        let samples: Vec<(f64, u32)> = (1..=10).map(|i| (i as f64 * 10.0, 0u32)).collect();
+        let r = run_with(&samples, 1, 10);
+        let curve = progressiveness(&r);
+        assert_eq!(curve.len(), 10);
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!((curve[4].1 - 0.5).abs() < 1e-9);
+        assert!((time_to_fraction_ms(&r, 0.5).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progressiveness_respects_sampling_rate() {
+        // 3 samples at rate 10 standing for 30 matches of 32 total.
+        let samples = [(5.0, 0u32), (6.0, 0), (7.0, 0)];
+        let r = run_with(&samples, 10, 32);
+        let curve = progressiveness(&r);
+        assert!((curve[0].1 - 10.0 / 32.0).abs() < 1e-9);
+        assert!((curve[2].1 - 30.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thinning_preserves_endpoints() {
+        let curve: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64 / 999.0)).collect();
+        let thin = thin_curve(&curve, 20);
+        assert_eq!(thin.len(), 20);
+        assert_eq!(*thin.last().unwrap(), *curve.last().unwrap());
+        assert!(thin.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Short curves pass through unchanged.
+        assert_eq!(thin_curve(&curve[..5], 20).len(), 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-worker and per-run outputs.
+
+use crate::algo::Algorithm;
+use iawj_common::{CountingSink, MatchRecord, PhaseBreakdown, Sink};
+
+/// Everything one worker thread produces.
+#[derive(Debug)]
+pub struct WorkerOut {
+    /// The worker's match sink (counts + samples).
+    pub sink: CountingSink,
+    /// Time spent per phase on this worker.
+    pub breakdown: PhaseBreakdown,
+    /// `(stream_ms, bytes_held)` samples of this worker's state size.
+    pub mem_samples: Vec<(f64, usize)>,
+}
+
+impl WorkerOut {
+    /// Fresh worker output with the given match-sampling rate.
+    pub fn new(sample_every: u64) -> Self {
+        WorkerOut {
+            sink: CountingSink::new(sample_every),
+            breakdown: PhaseBreakdown::zero(),
+            mem_samples: Vec::new(),
+        }
+    }
+}
+
+/// The merged result of one run — the input to every §4.1 metric.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total input tuples (|R| + |S|).
+    pub total_inputs: usize,
+    /// Total matches produced.
+    pub matches: u64,
+    /// One in `sample_every` matches, merged across workers, sorted by
+    /// emission time.
+    pub samples: Vec<MatchRecord>,
+    /// Sampling rate the samples were taken at.
+    pub sample_every: u64,
+    /// Stream time of the last match.
+    pub last_emit_ms: f64,
+    /// Stream time when the last worker finished.
+    pub elapsed_ms: f64,
+    /// Phase breakdown summed over workers (total CPU-side cost).
+    pub breakdown: PhaseBreakdown,
+    /// Per-worker breakdowns (for utilisation studies).
+    pub per_thread: Vec<PhaseBreakdown>,
+    /// Memory samples merged from all workers, sorted by time. Each entry
+    /// is `(stream_ms, worker, bytes)`; aggregate consumption at time t is
+    /// the sum over workers of each worker's latest reading before t (see
+    /// [`aggregate_mem_curve`]).
+    pub mem_samples: Vec<(f64, usize, usize)>,
+}
+
+impl RunResult {
+    /// Merge per-worker outputs into a run result.
+    pub fn merge(
+        algorithm: Algorithm,
+        total_inputs: usize,
+        sample_every: u64,
+        elapsed_ms: f64,
+        workers: Vec<WorkerOut>,
+    ) -> Self {
+        let threads = workers.len();
+        let mut matches = 0u64;
+        let mut samples = Vec::new();
+        let mut last_emit_ms = 0.0f64;
+        let mut breakdown = PhaseBreakdown::zero();
+        let mut per_thread = Vec::with_capacity(threads);
+        let mut mem_samples: Vec<(f64, usize, usize)> = Vec::new();
+        for (wid, w) in workers.into_iter().enumerate() {
+            matches += w.sink.count();
+            last_emit_ms = last_emit_ms.max(w.sink.last_emit_ms);
+            samples.extend(w.sink.samples);
+            breakdown += w.breakdown;
+            per_thread.push(w.breakdown);
+            mem_samples.extend(w.mem_samples.iter().map(|&(t, b)| (t, wid, b)));
+        }
+        samples.sort_by(|a, b| a.emit_ms.total_cmp(&b.emit_ms));
+        mem_samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        RunResult {
+            algorithm,
+            threads,
+            total_inputs,
+            matches,
+            samples,
+            sample_every,
+            last_emit_ms,
+            elapsed_ms,
+            breakdown,
+            per_thread,
+            mem_samples,
+        }
+    }
+
+    /// Throughput in input tuples per stream millisecond — total inputs
+    /// divided by the timestamp of the last match (§4.2.2). Falls back to
+    /// total elapsed time when a run produced no matches.
+    pub fn throughput_tpms(&self) -> f64 {
+        let t = if self.last_emit_ms > 0.0 { self.last_emit_ms } else { self.elapsed_ms };
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_inputs as f64 / t
+        }
+    }
+
+    /// CPU utilisation estimate: busy (non-wait) time over `threads ×
+    /// elapsed` (Table 6).
+    pub fn cpu_utilisation(&self) -> f64 {
+        let wall_ns = self.elapsed_ms * 1e6;
+        if wall_ns <= 0.0 || self.threads == 0 {
+            return 0.0;
+        }
+        (self.breakdown.busy_ns() as f64 / (wall_ns * self.threads as f64)).min(1.0)
+    }
+}
+
+/// Collapse per-worker memory samples into a total-consumption-over-time
+/// curve: at each sample time, the sum of every worker's latest reading
+/// (the Figure 19b series).
+pub fn aggregate_mem_curve(samples: &[(f64, usize, usize)], workers: usize) -> Vec<(f64, usize)> {
+    let mut latest = vec![0usize; workers];
+    let mut curve = Vec::with_capacity(samples.len());
+    for &(t, w, b) in samples {
+        if w < latest.len() {
+            latest[w] = b;
+        }
+        curve.push((t, latest.iter().sum()));
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iawj_common::Phase;
+
+    fn worker(matches: u64, last: f64, wait_ns: u64, probe_ns: u64) -> WorkerOut {
+        let mut w = WorkerOut::new(1);
+        for i in 0..matches {
+            w.sink.push(1, 0, 0, last * (i + 1) as f64 / matches as f64);
+        }
+        w.breakdown.add_ns(Phase::Wait, wait_ns);
+        w.breakdown.add_ns(Phase::Probe, probe_ns);
+        w
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let r = RunResult::merge(
+            Algorithm::Npj,
+            1000,
+            1,
+            20.0,
+            vec![worker(10, 10.0, 5, 5), worker(20, 15.0, 5, 5)],
+        );
+        assert_eq!(r.matches, 30);
+        assert_eq!(r.samples.len(), 30);
+        assert!((r.last_emit_ms - 15.0).abs() < 1e-9);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.breakdown[Phase::Probe], 10);
+        // Samples sorted by emission.
+        assert!(r.samples.windows(2).all(|w| w[0].emit_ms <= w[1].emit_ms));
+    }
+
+    #[test]
+    fn throughput_uses_last_match() {
+        let r = RunResult::merge(Algorithm::Npj, 300, 1, 50.0, vec![worker(3, 10.0, 0, 1)]);
+        assert!((r.throughput_tpms() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_falls_back_to_elapsed() {
+        let r = RunResult::merge(Algorithm::Npj, 100, 1, 4.0, vec![worker(0, 0.0, 0, 1)]);
+        assert!((r.throughput_tpms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mem_curve_aggregates_latest_per_worker() {
+        let samples = vec![(1.0, 0, 100), (2.0, 1, 50), (3.0, 0, 200), (4.0, 2, 10)];
+        let curve = aggregate_mem_curve(&samples, 3);
+        assert_eq!(curve, vec![(1.0, 100), (2.0, 150), (3.0, 250), (4.0, 260)]);
+        // Out-of-range worker ids are ignored rather than panicking.
+        let curve = aggregate_mem_curve(&[(1.0, 9, 5)], 2);
+        assert_eq!(curve, vec![(1.0, 0)]);
+    }
+
+    #[test]
+    fn utilisation_excludes_wait() {
+        // 1 worker, elapsed 1ms = 1e6 ns; busy 5e5, wait 5e5.
+        let r = RunResult::merge(
+            Algorithm::ShjJm,
+            10,
+            1,
+            1.0,
+            vec![worker(1, 1.0, 500_000, 500_000)],
+        );
+        assert!((r.cpu_utilisation() - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,80 @@
+//! The correctness oracle: a naive nested-loop intra-window join
+//! implementing Definition 2 directly. Every algorithm in the study must
+//! produce exactly this multiset of `(key, r_ts, s_ts)` triples.
+
+use iawj_common::{Key, Ts, Tuple, Window};
+
+/// All matches of `R' ⋈ S'` within the window, as sorted `(key, r_ts,
+/// s_ts)` triples (the canonical multiset form the tests compare).
+pub fn nested_loop_join(r: &[Tuple], s: &[Tuple], window: Window) -> Vec<(Key, Ts, Ts)> {
+    let mut out = Vec::new();
+    for rt in r.iter().filter(|t| window.contains(t.ts)) {
+        for st in s.iter().filter(|t| window.contains(t.ts)) {
+            if rt.key == st.key {
+                out.push((rt.key, rt.ts, st.ts));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Match count only (cheaper for sizing checks): uses a hash map, so it is
+/// O(|R| + |S|) instead of quadratic.
+pub fn match_count(r: &[Tuple], s: &[Tuple], window: Window) -> u64 {
+    use std::collections::HashMap;
+    let mut freq: HashMap<Key, u64> = HashMap::new();
+    for t in r.iter().filter(|t| window.contains(t.ts)) {
+        *freq.entry(t.key).or_insert(0) += 1;
+    }
+    s.iter()
+        .filter(|t| window.contains(t.ts))
+        .map(|t| freq.get(&t.key).copied().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_join() {
+        let r = vec![Tuple::new(1, 0), Tuple::new(2, 1)];
+        let s = vec![Tuple::new(2, 3), Tuple::new(2, 4), Tuple::new(3, 5)];
+        let w = Window::of_len(10);
+        let m = nested_loop_join(&r, &s, w);
+        assert_eq!(m, vec![(2, 1, 3), (2, 1, 4)]);
+        assert_eq!(match_count(&r, &s, w), 2);
+    }
+
+    #[test]
+    fn window_filters_out_of_range() {
+        let r = vec![Tuple::new(1, 5), Tuple::new(1, 15)];
+        let s = vec![Tuple::new(1, 9), Tuple::new(1, 20)];
+        let w = Window::of_len(10);
+        let m = nested_loop_join(&r, &s, w);
+        assert_eq!(m, vec![(1, 5, 9)]);
+        assert_eq!(match_count(&r, &s, w), 1);
+    }
+
+    #[test]
+    fn zero_window_keeps_only_t0() {
+        let r = vec![Tuple::new(1, 0), Tuple::new(1, 1)];
+        let s = vec![Tuple::new(1, 0)];
+        let w = Window::of_len(0);
+        assert_eq!(nested_loop_join(&r, &s, w), vec![(1, 0, 0)]);
+    }
+
+    #[test]
+    fn count_matches_nested_loop() {
+        use iawj_common::Rng;
+        let mut rng = Rng::new(3);
+        let r: Vec<Tuple> = (0..100).map(|i| Tuple::new(rng.next_u32() % 20, i % 50)).collect();
+        let s: Vec<Tuple> = (0..150).map(|i| Tuple::new(rng.next_u32() % 20, i % 50)).collect();
+        let w = Window::of_len(40);
+        assert_eq!(
+            match_count(&r, &s, w),
+            nested_loop_join(&r, &s, w).len() as u64
+        );
+    }
+}

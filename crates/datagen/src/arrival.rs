@@ -1,0 +1,150 @@
+//! Arrival-time generators: the `skew_ts` dimension of Table 1 plus the
+//! "spiky" Stock pattern of Figure 3a.
+
+use iawj_common::{Rng, Ts, Zipf};
+
+/// `n` timestamps spread uniformly over `[0, window_ms)`, in arrival order.
+/// This is the paper's "uniform arrival distribution" (skew_ts = 0).
+pub fn uniform(n: usize, window_ms: u32) -> Vec<Ts> {
+    if window_ms == 0 {
+        return vec![0; n];
+    }
+    (0..n)
+        .map(|i| ((i as u64 * window_ms as u64) / n.max(1) as u64) as Ts)
+        .collect()
+}
+
+/// All `n` tuples arrive instantly (data at rest: DEBS, YSB's campaign
+/// table; arrival rate = ∞).
+pub fn instant(n: usize) -> Vec<Ts> {
+    vec![0; n]
+}
+
+/// Zipf-skewed arrivals: timestamps are drawn Zipf(θ) over the window's
+/// millisecond slots with *early* slots most popular, then sorted. This is
+/// the §5.4 "more tuples bear the same timestamps as in the early tuples
+/// of input streams with increasing skew_ts" construction.
+pub fn zipf_skewed(n: usize, window_ms: u32, theta: f64, rng: &mut Rng) -> Vec<Ts> {
+    if window_ms == 0 {
+        return vec![0; n];
+    }
+    if theta == 0.0 {
+        return uniform(n, window_ms);
+    }
+    let z = Zipf::new(window_ms as usize, theta);
+    let mut ts: Vec<Ts> = (0..n).map(|_| z.sample(rng) as Ts).collect();
+    ts.sort_unstable();
+    ts
+}
+
+/// Spiky arrivals (Figure 3a, the Stock trade/quote pattern): a uniform
+/// baseline carrying `1 - spike_mass` of the tuples plus `spikes` narrow
+/// bursts at random positions carrying the rest.
+pub fn spiky(
+    n: usize,
+    window_ms: u32,
+    spikes: usize,
+    spike_mass: f64,
+    rng: &mut Rng,
+) -> Vec<Ts> {
+    assert!((0.0..=1.0).contains(&spike_mass));
+    if window_ms == 0 || n == 0 {
+        return vec![0; n];
+    }
+    let n_spike = (n as f64 * spike_mass) as usize;
+    let n_base = n - n_spike;
+    let mut ts = uniform(n_base, window_ms);
+    if spikes > 0 && n_spike > 0 {
+        let positions: Vec<Ts> = (0..spikes)
+            .map(|_| rng.below(window_ms as u64) as Ts)
+            .collect();
+        for i in 0..n_spike {
+            // Each spike is 1-2 ms wide, like the single-slot bursts of
+            // Figure 3a.
+            let p = positions[i % positions.len()];
+            let jitter = rng.below(2) as Ts;
+            ts.push((p + jitter).min(window_ms - 1));
+        }
+    }
+    ts.sort_unstable();
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(ts: &[Ts]) -> bool {
+        ts.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let ts = uniform(1000, 100);
+        assert_eq!(ts.len(), 1000);
+        assert!(is_sorted(&ts));
+        assert_eq!(ts[0], 0);
+        assert_eq!(*ts.last().unwrap(), 99);
+        // Every ms slot gets ~10 tuples.
+        let in_first_half = ts.iter().filter(|&&t| t < 50).count();
+        assert_eq!(in_first_half, 500);
+    }
+
+    #[test]
+    fn uniform_zero_window_is_instant() {
+        assert_eq!(uniform(5, 0), vec![0; 5]);
+        assert_eq!(instant(3), vec![0; 3]);
+    }
+
+    #[test]
+    fn uniform_fewer_tuples_than_slots() {
+        let ts = uniform(3, 300);
+        assert_eq!(ts, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn zipf_skews_early() {
+        let mut rng = Rng::new(1);
+        let ts = zipf_skewed(10_000, 1000, 1.6, &mut rng);
+        assert!(is_sorted(&ts));
+        assert!(ts.iter().all(|&t| t < 1000));
+        let early = ts.iter().filter(|&&t| t < 100).count();
+        // At theta=1.6 the first 10% of slots hold the vast majority.
+        assert!(early > 7_000, "only {early} of 10000 in the first 100 ms");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut rng = Rng::new(2);
+        assert_eq!(zipf_skewed(100, 50, 0.0, &mut rng), uniform(100, 50));
+    }
+
+    #[test]
+    fn spiky_concentrates_mass() {
+        let mut rng = Rng::new(3);
+        let ts = spiky(61_000, 1000, 8, 0.5, &mut rng);
+        assert_eq!(ts.len(), 61_000);
+        assert!(is_sorted(&ts));
+        // Count the per-ms histogram: some slot must hold far more than the
+        // 61/ms uniform baseline.
+        let mut hist = vec![0u32; 1000];
+        for &t in &ts {
+            hist[t as usize] += 1;
+        }
+        let max = *hist.iter().max().unwrap();
+        assert!(max > 1000, "no spike found, max slot = {max}");
+    }
+
+    #[test]
+    fn spiky_zero_mass_is_uniform() {
+        let mut rng = Rng::new(4);
+        let ts = spiky(100, 50, 4, 0.0, &mut rng);
+        assert_eq!(ts, uniform(100, 50));
+    }
+
+    #[test]
+    fn spiky_empty() {
+        let mut rng = Rng::new(5);
+        assert!(spiky(0, 100, 4, 0.5, &mut rng).is_empty());
+    }
+}

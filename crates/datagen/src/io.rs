@@ -1,0 +1,154 @@
+//! Loading and saving streams as CSV — the path for running the study's
+//! algorithms on your own data via the `iawj` CLI.
+//!
+//! The format is minimal: one `key,timestamp_ms` pair per line, both
+//! unsigned 32-bit integers, optionally preceded by a `key,ts` header.
+//! Rows may arrive unsorted; the loader sorts by timestamp (stably), which
+//! is the arrival-order invariant every algorithm relies on.
+
+use iawj_common::Tuple;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// CSV loading errors with line context.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed row.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, content } => {
+                write!(f, "line {line}: expected 'key,ts' with u32 fields, got '{content}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse a stream from any reader. Blank lines are skipped; a first line
+/// of `key,ts` is treated as a header.
+pub fn read_stream(reader: impl BufRead) -> Result<Vec<Tuple>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (i == 0 && trimmed.eq_ignore_ascii_case("key,ts")) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parsed = (|| {
+            let key: u32 = parts.next()?.trim().parse().ok()?;
+            let ts: u32 = parts.next()?.trim().parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(Tuple::new(key, ts))
+        })();
+        match parsed {
+            Some(t) => out.push(t),
+            None => {
+                return Err(CsvError::Parse { line: i + 1, content: trimmed.to_string() })
+            }
+        }
+    }
+    out.sort_by_key(|t| t.ts); // stable: preserves file order within a ms
+    Ok(out)
+}
+
+/// Load a stream from a CSV file.
+pub fn load_stream(path: impl AsRef<Path>) -> Result<Vec<Tuple>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_stream(std::io::BufReader::new(file))
+}
+
+/// Write a stream as CSV (with header) to any writer.
+pub fn write_stream(tuples: &[Tuple], mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "key,ts")?;
+    for t in tuples {
+        writeln!(writer, "{},{}", t.key, t.ts)?;
+    }
+    writer.flush()
+}
+
+/// Save a stream as CSV to a file.
+pub fn save_stream(tuples: &[Tuple], path: impl AsRef<Path>) -> Result<(), CsvError> {
+    let file = std::fs::File::create(path)?;
+    write_stream(tuples, std::io::BufWriter::new(file))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_csv() {
+        let data = "key,ts\n1,10\n2,5\n3,10\n";
+        let tuples = read_stream(Cursor::new(data)).unwrap();
+        // Sorted by ts; stable within equal timestamps.
+        assert_eq!(
+            tuples,
+            vec![Tuple::new(2, 5), Tuple::new(1, 10), Tuple::new(3, 10)]
+        );
+    }
+
+    #[test]
+    fn header_is_optional_and_blank_lines_skipped() {
+        let data = "4,0\n\n5,1\n";
+        let tuples = read_stream(Cursor::new(data)).unwrap();
+        assert_eq!(tuples.len(), 2);
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let err = read_stream(Cursor::new("1,2\nnot,a,row\n")).unwrap_err();
+        match err {
+            CsvError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not,a,row");
+            }
+            other => panic!("{other}"),
+        }
+        assert!(read_stream(Cursor::new("1\n")).is_err());
+        assert!(read_stream(Cursor::new("a,b\n")).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_files() {
+        let dir = std::env::temp_dir().join("iawj_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let tuples: Vec<Tuple> = (0..50).map(|i| Tuple::new(i * 7, i)).collect();
+        save_stream(&tuples, &path).unwrap();
+        let back = load_stream(&path).unwrap();
+        assert_eq!(back, tuples);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_stream("/definitely/not/here.csv") {
+            Err(CsvError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

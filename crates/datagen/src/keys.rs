@@ -1,0 +1,114 @@
+//! Key-assignment generators: the `skew_key` and `dupe` dimensions of
+//! Table 1.
+
+use iawj_common::{Key, Rng, Zipf};
+
+/// `n` distinct keys `0..n`, shuffled — the "unique key set" of the Micro
+/// sweeps.
+pub fn unique(n: usize, rng: &mut Rng) -> Vec<Key> {
+    let mut keys: Vec<Key> = (0..n as u32).collect();
+    rng.shuffle(&mut keys);
+    keys
+}
+
+/// Exact duplication: the domain `0..domain` is cycled so every key appears
+/// `ceil`/`floor` of `n / domain` times, then shuffled. This gives the
+/// precise `dupe = n / domain` of the Figure 11 sweep.
+pub fn round_robin(n: usize, domain: usize, rng: &mut Rng) -> Vec<Key> {
+    assert!(domain > 0, "key domain must be non-empty");
+    let mut keys: Vec<Key> = (0..n).map(|i| (i % domain) as Key).collect();
+    rng.shuffle(&mut keys);
+    keys
+}
+
+/// Zipf-skewed keys over `0..domain` with exponent `theta` — the Figure 13
+/// `skew_key` sweep and the Table 3 skew parameters. Key *identities* are
+/// scrambled (rank 0 is not key 0) so radix partitioning sees no
+/// correlation between popularity and key bits, as with real identifiers.
+pub fn zipf(n: usize, domain: usize, theta: f64, rng: &mut Rng) -> Vec<Key> {
+    if theta == 0.0 {
+        return round_robin(n, domain, rng);
+    }
+    let z = Zipf::new(domain, theta);
+    // Permute rank -> key id.
+    let mut ids: Vec<Key> = (0..domain as u32).collect();
+    rng.shuffle(&mut ids);
+    (0..n).map(|_| ids[z.sample(rng)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn freq(keys: &[Key]) -> HashMap<Key, usize> {
+        let mut m = HashMap::new();
+        for &k in keys {
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn unique_keys_are_a_permutation() {
+        let mut rng = Rng::new(1);
+        let keys = unique(1000, &mut rng);
+        let f = freq(&keys);
+        assert_eq!(f.len(), 1000);
+        assert!(f.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn round_robin_exact_duplication() {
+        let mut rng = Rng::new(2);
+        let keys = round_robin(1000, 100, &mut rng);
+        let f = freq(&keys);
+        assert_eq!(f.len(), 100);
+        assert!(f.values().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn round_robin_uneven_division() {
+        let mut rng = Rng::new(3);
+        let keys = round_robin(10, 3, &mut rng);
+        let f = freq(&keys);
+        assert_eq!(f.len(), 3);
+        let mut counts: Vec<usize> = f.values().copied().collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let mut rng = Rng::new(4);
+        let keys = zipf(50_000, 1000, 1.2, &mut rng);
+        let f = freq(&keys);
+        let max = *f.values().max().unwrap();
+        let avg = 50_000 / f.len();
+        assert!(max > avg * 10, "max {max} not skewed vs avg {avg}");
+        assert!(keys.iter().all(|&k| (k as usize) < 1000));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_round_robin() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        assert_eq!(zipf(100, 10, 0.0, &mut a), round_robin(100, 10, &mut b));
+    }
+
+    #[test]
+    fn zipf_scrambles_identity() {
+        // The most frequent key should usually not be key 0.
+        let mut hits = 0;
+        for seed in 0..10 {
+            let mut rng = Rng::new(seed);
+            let keys = zipf(10_000, 100, 1.5, &mut rng);
+            let f = freq(&keys);
+            let top = f.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+            if top == 0 {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 3, "rank-to-key permutation looks broken: {hits}/10");
+    }
+}

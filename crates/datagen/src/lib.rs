@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the study (§4.2.1).
+//!
+//! Five workloads drive the paper's evaluation: four real-world ones —
+//! Stock, Rovio, YSB, DEBS — and the fully tunable synthetic Micro workload
+//! of Kim et al. The real datasets are not redistributable, so this crate
+//! generates *statistical equivalents*: streams whose arrival rates, key
+//! duplication, key skew, and arrival-time distribution match the published
+//! Table 3 / Figure 3 characteristics. The [`stats`] module re-measures
+//! those characteristics from the generated data, which is how the Table 3
+//! harness verifies the substitution.
+//!
+//! All generators are deterministic in their seed, and accept a `scale`
+//! factor that shrinks cardinalities (keeping key-domain sizes, hence
+//! scaling per-key duplication) so the full evaluation fits on a laptop.
+
+pub mod arrival;
+pub mod dataset;
+pub mod io;
+pub mod keys;
+pub mod micro;
+pub mod stats;
+pub mod workloads;
+
+pub use dataset::Dataset;
+pub use micro::MicroSpec;
+pub use stats::{StreamStats, WorkloadStats};
+pub use workloads::{debs, rovio, stock, ysb};

@@ -1,0 +1,263 @@
+//! The Micro synthetic workload (§4.2.1), after Kim et al. — the fully
+//! tunable workload driving every sensitivity study in §5.4 and §5.5.
+
+use crate::arrival;
+use crate::dataset::Dataset;
+use crate::keys;
+use iawj_common::{Rate, Rng, Window};
+
+/// Parameters of the Micro workload. All knobs of Table 1 are exposed:
+/// per-stream arrival rate `v`, window length `w`, duplicates per key
+/// `dupe`, key skew, and arrival-time skew.
+///
+/// ```
+/// use iawj_datagen::MicroSpec;
+///
+/// let ds = MicroSpec::with_rates(100.0, 200.0) // tuples per ms
+///     .window_ms(500)
+///     .dupe(5)
+///     .seed(1)
+///     .generate();
+/// assert_eq!(ds.r.len(), 50_000);
+/// assert_eq!(ds.s.len(), 100_000);
+/// assert!(ds.r.iter().all(|t| t.ts < 500));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MicroSpec {
+    /// Arrival rate of R in tuples/ms (ignored when `static_data`).
+    pub rate_r: f64,
+    /// Arrival rate of S in tuples/ms (ignored when `static_data`).
+    pub rate_s: f64,
+    /// Window length in ms.
+    pub window_ms: u32,
+    /// Average duplicates per key in R; the key domain is `|R| / dupe`.
+    /// `1` gives the "unique key set" configuration.
+    pub dupe: usize,
+    /// Zipf exponent of key popularity (0 = exact round-robin duplication).
+    pub skew_key: f64,
+    /// Zipf exponent of arrival times (0 = uniform arrivals).
+    pub skew_ts: f64,
+    /// All tuples available at t=0 (the §5.5 parameter studies eliminate
+    /// wait time this way).
+    pub static_data: bool,
+    /// Explicit |R| (overrides `rate_r * window_ms`; required when static).
+    pub count_r: Option<usize>,
+    /// Explicit |S|.
+    pub count_s: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MicroSpec {
+    fn default() -> Self {
+        MicroSpec {
+            rate_r: 1600.0,
+            rate_s: 1600.0,
+            window_ms: 1000,
+            dupe: 1,
+            skew_key: 0.0,
+            skew_ts: 0.0,
+            static_data: false,
+            count_r: None,
+            count_s: None,
+            seed: 0x1A57,
+        }
+    }
+}
+
+impl MicroSpec {
+    /// Both streams at rate `v`, the Figure 9 configuration.
+    pub fn with_rates(rate_r: f64, rate_s: f64) -> Self {
+        MicroSpec { rate_r, rate_s, ..Default::default() }
+    }
+
+    /// The static configuration of the §5.5 parameter studies:
+    /// `|R| = count_r`, `|S| = count_s`, everything available instantly.
+    pub fn static_counts(count_r: usize, count_s: usize) -> Self {
+        MicroSpec {
+            static_data: true,
+            count_r: Some(count_r),
+            count_s: Some(count_s),
+            ..Default::default()
+        }
+    }
+
+    /// Set average key duplication.
+    pub fn dupe(mut self, dupe: usize) -> Self {
+        self.dupe = dupe.max(1);
+        self
+    }
+
+    /// Set key-skew exponent.
+    pub fn skew_key(mut self, theta: f64) -> Self {
+        self.skew_key = theta;
+        self
+    }
+
+    /// Set arrival-skew exponent.
+    pub fn skew_ts(mut self, theta: f64) -> Self {
+        self.skew_ts = theta;
+        self
+    }
+
+    /// Set window length.
+    pub fn window_ms(mut self, w: u32) -> Self {
+        self.window_ms = w;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Cardinality of R implied by the spec.
+    pub fn n_r(&self) -> usize {
+        self.count_r
+            .unwrap_or_else(|| (self.rate_r * self.window_ms as f64).round() as usize)
+    }
+
+    /// Cardinality of S implied by the spec.
+    pub fn n_s(&self) -> usize {
+        self.count_s
+            .unwrap_or_else(|| (self.rate_s * self.window_ms as f64).round() as usize)
+    }
+
+    /// Size of the shared key domain: `max(|R| / dupe, 1)`.
+    pub fn key_domain(&self) -> usize {
+        (self.n_r() / self.dupe).max(1)
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = Rng::new(self.seed);
+        let n_r = self.n_r();
+        let n_s = self.n_s();
+        let domain = self.key_domain();
+
+        let mut key_rng = rng.split(1);
+        let gen_keys = |n: usize, rng: &mut Rng| {
+            if self.skew_key > 0.0 {
+                keys::zipf(n, domain, self.skew_key, rng)
+            } else if self.dupe == 1 && n <= domain {
+                keys::unique(n, rng)
+            } else {
+                keys::round_robin(n, domain, rng)
+            }
+        };
+        let r_keys = gen_keys(n_r, &mut key_rng);
+        let s_keys = gen_keys(n_s, &mut key_rng);
+
+        let mut ts_rng = rng.split(2);
+        let gen_ts = |n: usize, rng: &mut Rng| {
+            if self.static_data {
+                arrival::instant(n)
+            } else if self.skew_ts > 0.0 {
+                arrival::zipf_skewed(n, self.window_ms, self.skew_ts, rng)
+            } else {
+                arrival::uniform(n, self.window_ms)
+            }
+        };
+        let r_ts = gen_ts(n_r, &mut ts_rng);
+        let s_ts = gen_ts(n_s, &mut ts_rng);
+
+        let (rate_r, rate_s) = if self.static_data {
+            (Rate::Infinite, Rate::Infinite)
+        } else {
+            (Rate::PerMs(self.rate_r), Rate::PerMs(self.rate_s))
+        };
+        let window = if self.static_data {
+            Window::of_len(0)
+        } else {
+            Window::of_len(self.window_ms)
+        };
+        Dataset::assemble("Micro", r_keys, r_ts, s_keys, s_ts, window, rate_r, rate_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn default_spec_generates_unique_uniform() {
+        let ds = MicroSpec::default().generate();
+        assert_eq!(ds.r.len(), 1_600_000 / 1000 * 1000);
+        assert_eq!(ds.s.len(), ds.r.len());
+        // Unique keys.
+        let mut f = HashMap::new();
+        for t in &ds.r {
+            *f.entry(t.key).or_insert(0usize) += 1;
+        }
+        assert!(f.values().all(|&c| c == 1));
+        assert!(!ds.is_static());
+    }
+
+    #[test]
+    fn dupe_controls_domain() {
+        let spec = MicroSpec::with_rates(100.0, 100.0).dupe(10);
+        let ds = spec.generate();
+        let mut f = HashMap::new();
+        for t in &ds.r {
+            *f.entry(t.key).or_insert(0usize) += 1;
+        }
+        assert_eq!(f.len(), 10_000, "domain = 100k/10");
+        assert!(f.values().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn static_counts_config() {
+        let ds = MicroSpec::static_counts(1000, 2000).generate();
+        assert_eq!(ds.r.len(), 1000);
+        assert_eq!(ds.s.len(), 2000);
+        assert!(ds.is_static());
+        assert_eq!(ds.window.len_ms, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MicroSpec::default().seed(9).generate();
+        let b = MicroSpec::default().seed(9).generate();
+        assert_eq!(a.r, b.r);
+        assert_eq!(a.s, b.s);
+        let c = MicroSpec::default().seed(10).generate();
+        assert_ne!(a.r, c.r);
+    }
+
+    #[test]
+    fn skewed_keys_have_hot_key() {
+        let ds = MicroSpec::with_rates(200.0, 200.0).skew_key(1.5).generate();
+        let mut f = HashMap::new();
+        for t in &ds.r {
+            *f.entry(t.key).or_insert(0usize) += 1;
+        }
+        let max = *f.values().max().unwrap();
+        assert!(max > 1000, "hot key only {max} of 200k");
+    }
+
+    #[test]
+    fn skewed_arrivals_land_early() {
+        let ds = MicroSpec::with_rates(100.0, 100.0).skew_ts(1.6).generate();
+        let early = ds.r.iter().filter(|t| t.ts < 100).count();
+        assert!(early > ds.r.len() / 2);
+    }
+
+    #[test]
+    fn expected_match_count_scales_with_dupe() {
+        // matches = domain * dupe_r * dupe_s = dupe * |S| for equal streams.
+        for dupe in [1usize, 4] {
+            let ds = MicroSpec::with_rates(20.0, 20.0).dupe(dupe).generate();
+            let mut f = HashMap::new();
+            for t in &ds.r {
+                f.entry(t.key).or_insert((0usize, 0usize)).0 += 1;
+            }
+            for t in &ds.s {
+                f.entry(t.key).or_insert((0, 0)).1 += 1;
+            }
+            let matches: usize = f.values().map(|&(a, b)| a * b).sum();
+            assert_eq!(matches, dupe * ds.s.len());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Workload statistics — regenerates the rows of Table 3 and the series of
+//! Figure 3 from the actual generated data, verifying that the synthetic
+//! equivalents hit the published characteristics.
+
+use crate::dataset::Dataset;
+use iawj_common::zipf::estimate_theta;
+use iawj_common::{Rate, Tuple};
+use std::collections::HashMap;
+
+/// Measured statistics of one stream.
+#[derive(Clone, Debug)]
+pub struct StreamStats {
+    /// Number of tuples.
+    pub count: usize,
+    /// Nominal arrival rate (from the dataset metadata).
+    pub rate: Rate,
+    /// Distinct keys.
+    pub distinct_keys: usize,
+    /// Average duplicates per key = count / distinct.
+    pub dupe_avg: f64,
+    /// Zipf exponent estimated from the key-frequency rank distribution.
+    pub skew_key_est: f64,
+    /// Largest number of tuples sharing one arrival millisecond.
+    pub peak_per_ms: usize,
+    /// Zipf exponent estimated from the per-millisecond arrival counts —
+    /// the measured `skew_ts` of Table 1 (0 for uniform or static data).
+    pub skew_ts_est: f64,
+}
+
+impl StreamStats {
+    /// Measure a stream.
+    pub fn measure(tuples: &[Tuple], rate: Rate) -> Self {
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        let mut per_ms: HashMap<u32, usize> = HashMap::new();
+        for t in tuples {
+            *freq.entry(t.key).or_insert(0) += 1;
+            *per_ms.entry(t.ts).or_insert(0) += 1;
+        }
+        let distinct = freq.len().max(1);
+        let mut counts: Vec<u64> = freq.into_values().collect();
+        let mut slot_counts: Vec<u64> = per_ms.values().map(|&c| c as u64).collect();
+        StreamStats {
+            count: tuples.len(),
+            rate,
+            distinct_keys: distinct,
+            dupe_avg: tuples.len() as f64 / distinct as f64,
+            skew_key_est: estimate_theta(&mut counts),
+            peak_per_ms: per_ms.into_values().max().unwrap_or(0),
+            skew_ts_est: if slot_counts.len() < 2 {
+                0.0
+            } else {
+                estimate_theta(&mut slot_counts)
+            },
+        }
+    }
+}
+
+/// The Table 3 row of a workload: both streams measured.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// Workload name.
+    pub name: String,
+    /// Statistics of R.
+    pub r: StreamStats,
+    /// Statistics of S.
+    pub s: StreamStats,
+}
+
+impl WorkloadStats {
+    /// Measure a dataset.
+    pub fn measure(ds: &Dataset) -> Self {
+        WorkloadStats {
+            name: ds.name.clone(),
+            r: StreamStats::measure(&ds.r, ds.rate_r),
+            s: StreamStats::measure(&ds.s, ds.rate_s),
+        }
+    }
+}
+
+/// Per-millisecond arrival histogram — the Figure 3 series. Returns
+/// `hist[ms] = tuples arriving in that millisecond`.
+pub fn arrival_histogram(tuples: &[Tuple], window_ms: u32) -> Vec<usize> {
+    let mut hist = vec![0usize; window_ms.max(1) as usize];
+    for t in tuples {
+        let slot = (t.ts as usize).min(hist.len() - 1);
+        hist[slot] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::MicroSpec;
+    use crate::workloads;
+
+    #[test]
+    fn measures_unique_stream() {
+        let ds = MicroSpec::with_rates(100.0, 100.0).generate();
+        let st = StreamStats::measure(&ds.r, ds.rate_r);
+        assert_eq!(st.count, 100_000);
+        assert_eq!(st.distinct_keys, 100_000);
+        assert!((st.dupe_avg - 1.0).abs() < 1e-9);
+        assert!(st.skew_key_est < 0.05, "unique stream skew {}", st.skew_key_est);
+    }
+
+    #[test]
+    fn measures_duplication() {
+        let ds = MicroSpec::with_rates(100.0, 100.0).dupe(50).generate();
+        let st = StreamStats::measure(&ds.r, ds.rate_r);
+        assert_eq!(st.distinct_keys, 2000);
+        assert!((st.dupe_avg - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rovio_stats_match_table3_shape() {
+        let ds = workloads::rovio(0.05, 1);
+        let ws = WorkloadStats::measure(&ds);
+        // Scaled dupe = |R| / 167 domain.
+        assert!(ws.r.dupe_avg > 500.0, "rovio dupe {}", ws.r.dupe_avg);
+        assert!(ws.r.skew_key_est < 0.3, "rovio skew {}", ws.r.skew_key_est);
+    }
+
+    #[test]
+    fn stock_peak_exceeds_uniform_by_far() {
+        let ds = workloads::stock(0.2, 1);
+        let ws = WorkloadStats::measure(&ds);
+        let uniform_per_ms = ws.r.count / 1000;
+        assert!(ws.r.peak_per_ms > uniform_per_ms * 10);
+    }
+
+    #[test]
+    fn histogram_sums_to_count() {
+        let ds = workloads::stock(0.1, 2);
+        let hist = arrival_histogram(&ds.r, 1000);
+        assert_eq!(hist.iter().sum::<usize>(), ds.r.len());
+        assert_eq!(hist.len(), 1000);
+    }
+
+    #[test]
+    fn histogram_of_static_data_piles_at_zero() {
+        let ds = workloads::debs(0.01, 3);
+        let hist = arrival_histogram(&ds.r, 1);
+        assert_eq!(hist, vec![ds.r.len()]);
+    }
+
+    #[test]
+    fn empty_stream_stats() {
+        let st = StreamStats::measure(&[], Rate::Infinite);
+        assert_eq!(st.count, 0);
+        assert_eq!(st.peak_per_ms, 0);
+        assert!((st.dupe_avg - 0.0).abs() < 1e-9);
+        assert_eq!(st.skew_ts_est, 0.0);
+    }
+
+    #[test]
+    fn skew_ts_estimate_reacts_to_arrival_skew() {
+        let uniform = MicroSpec::with_rates(50.0, 50.0).seed(8).generate();
+        let skewed = MicroSpec::with_rates(50.0, 50.0).skew_ts(1.6).seed(8).generate();
+        let u = StreamStats::measure(&uniform.r, uniform.rate_r);
+        let z = StreamStats::measure(&skewed.r, skewed.rate_r);
+        assert!(u.skew_ts_est < 0.1, "uniform arrivals read {}", u.skew_ts_est);
+        assert!(
+            z.skew_ts_est > u.skew_ts_est + 0.3,
+            "skewed {} vs uniform {}",
+            z.skew_ts_est,
+            u.skew_ts_est
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests of the workload generators: structural invariants
+//! that must hold for every parameter combination.
+
+use iawj_common::tuple::is_sorted_by_ts;
+use iawj_datagen::{debs, rovio, stock, ysb, MicroSpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn micro_always_time_ordered_and_in_window(
+        rate_r in 1.0f64..50.0, rate_s in 1.0f64..50.0,
+        window in 10u32..500, dupe in 1usize..30,
+        skew_key in 0.0f64..2.0, skew_ts in 0.0f64..2.0, seed in 0u64..500) {
+        let ds = MicroSpec {
+            rate_r, rate_s, window_ms: window, dupe,
+            skew_key, skew_ts, static_data: false,
+            count_r: None, count_s: None, seed,
+        }.generate();
+        prop_assert!(is_sorted_by_ts(&ds.r));
+        prop_assert!(is_sorted_by_ts(&ds.s));
+        prop_assert!(ds.r.iter().all(|t| ds.window.contains(t.ts)));
+        prop_assert!(ds.s.iter().all(|t| ds.window.contains(t.ts)));
+        prop_assert_eq!(ds.r.len(), (rate_r * window as f64).round() as usize);
+    }
+
+    #[test]
+    fn micro_dupe_is_exact_without_skew(dupe in 1usize..50, seed in 0u64..100) {
+        let n = 2000;
+        let ds = MicroSpec::static_counts(n, n).dupe(dupe).seed(seed).generate();
+        let mut freq: HashMap<u32, usize> = HashMap::new();
+        for t in &ds.r {
+            *freq.entry(t.key).or_insert(0) += 1;
+        }
+        let domain = (n / dupe).max(1);
+        prop_assert_eq!(freq.len(), domain.min(n));
+        let (min, max) = freq.values().fold((usize::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        prop_assert!(max - min <= 1, "round-robin must be balanced: {min}..{max}");
+    }
+
+    #[test]
+    fn real_workloads_key_domains_overlap(scale in 0.001f64..0.05, seed in 0u64..50) {
+        for ds in [stock(scale, seed), rovio(scale, seed), ysb(scale, seed), debs(scale, seed)] {
+            let r_keys: std::collections::HashSet<u32> = ds.r.iter().map(|t| t.key).collect();
+            let joined = ds.s.iter().any(|t| r_keys.contains(&t.key));
+            prop_assert!(joined, "{}: no joinable keys at scale {scale}", ds.name);
+            prop_assert!(is_sorted_by_ts(&ds.r), "{}", ds.name);
+            prop_assert!(is_sorted_by_ts(&ds.s), "{}", ds.name);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The two hash tables of the study.
+//!
+//! - [`SharedTable`] — NPJ's single shared table. All threads insert during
+//!   the build phase under per-bucket latches; the concurrent-visit
+//!   contention on hot buckets is exactly the NPJ pathology §5.3.2 measures.
+//! - [`LocalTable`] — the bucket-chain table of PRJ, reused for SHJ's two
+//!   per-thread tables as the paper does (§4.2.2). Single-owner, latch-free,
+//!   with chained entries in one contiguous arena so growth never
+//!   invalidates earlier entries.
+//!
+//! Both derive bucket indices from the shared [`iawj_common::hash_key`]
+//! so hash quality never differs across algorithms.
+
+use iawj_common::hash::{bucket_of, next_pow2_at_least};
+use iawj_common::{Key, Ts};
+use parking_lot::Mutex;
+
+/// A thread-local chained hash table over `(key, ts)` entries.
+///
+/// `heads[bucket]` points into `entries`; each entry links to the previous
+/// head, so a bucket is a LIFO chain. `-1` terminates a chain.
+#[derive(Debug)]
+pub struct LocalTable {
+    mask: u64,
+    heads: Vec<i32>,
+    entries: Vec<Entry>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: Key,
+    ts: Ts,
+    next: i32,
+}
+
+impl LocalTable {
+    /// Table sized for roughly `expected` entries (2× buckets, min 16).
+    pub fn with_capacity(expected: usize) -> Self {
+        let buckets = next_pow2_at_least(expected * 2, 16);
+        LocalTable {
+            mask: buckets as u64 - 1,
+            heads: vec![-1; buckets],
+            entries: Vec::with_capacity(expected),
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (for the Figure 19b memory gauge).
+    pub fn bytes(&self) -> usize {
+        self.heads.capacity() * std::mem::size_of::<i32>()
+            + self.entries.capacity() * std::mem::size_of::<Entry>()
+    }
+
+    /// Insert an entry.
+    #[inline]
+    pub fn insert(&mut self, key: Key, ts: Ts) {
+        let b = bucket_of(key, self.mask);
+        let idx = self.entries.len() as i32;
+        self.entries.push(Entry { key, ts, next: self.heads[b] });
+        self.heads[b] = idx;
+    }
+
+    /// Call `f(ts)` for every stored entry with this key.
+    #[inline]
+    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+        let b = bucket_of(key, self.mask);
+        let mut cur = self.heads[b];
+        while cur >= 0 {
+            let e = &self.entries[cur as usize];
+            if e.key == key {
+                f(e.ts);
+            }
+            cur = e.next;
+        }
+    }
+
+    /// Number of matches for a key (tests, sizing).
+    pub fn count(&self, key: Key) -> usize {
+        let mut n = 0;
+        self.probe(key, |_| n += 1);
+        n
+    }
+}
+
+/// NPJ's shared table: per-bucket latched vectors. Build-phase inserts take
+/// the bucket latch; probe-phase reads also take it (briefly), which models
+/// the access-conflict behaviour of a latched shared table faithfully.
+pub struct SharedTable {
+    mask: u64,
+    buckets: Vec<Mutex<Vec<(Key, Ts)>>>,
+}
+
+impl SharedTable {
+    /// Table sized for roughly `expected` entries across all threads.
+    pub fn with_capacity(expected: usize) -> Self {
+        let n = next_pow2_at_least(expected * 2, 16);
+        SharedTable {
+            mask: n as u64 - 1,
+            buckets: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Insert from any thread.
+    #[inline]
+    pub fn insert(&self, key: Key, ts: Ts) {
+        let b = bucket_of(key, self.mask);
+        self.buckets[b].lock().push((key, ts));
+    }
+
+    /// Call `f(ts)` for every stored entry with this key.
+    #[inline]
+    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+        let b = bucket_of(key, self.mask);
+        let guard = self.buckets[b].lock();
+        for &(k, ts) in guard.iter() {
+            if k == key {
+                f(ts);
+            }
+        }
+    }
+
+    /// Total entries (takes every latch; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        let fixed = self.buckets.len() * std::mem::size_of::<Mutex<Vec<(Key, Ts)>>>();
+        let chains: usize = self
+            .buckets
+            .iter()
+            .map(|b| b.lock().capacity() * std::mem::size_of::<(Key, Ts)>())
+            .sum();
+        fixed + chains
+    }
+}
+
+/// Striped-latch variant of the shared table: one latch guards a *stripe*
+/// of buckets instead of each bucket having its own. Fewer latches means a
+/// smaller table footprint but coarser conflict granularity — the ablation
+/// behind the NPJ latching comparison in the kernel benches.
+pub struct StripedTable {
+    mask: u64,
+    stripe_shift: u32,
+    stripes: Vec<Mutex<()>>,
+    buckets: Vec<std::cell::UnsafeCell<Vec<(Key, Ts)>>>,
+}
+
+// SAFETY: every access to `buckets[b]` happens while holding the stripe
+// latch that owns bucket `b` (see `stripe_of`), so no two threads alias a
+// bucket's Vec mutably.
+unsafe impl Sync for StripedTable {}
+unsafe impl Send for StripedTable {}
+
+impl StripedTable {
+    /// Table sized for roughly `expected` entries with `stripes` latches
+    /// (rounded to a power of two).
+    pub fn with_capacity(expected: usize, stripes: usize) -> Self {
+        let n = next_pow2_at_least(expected * 2, 16);
+        let s = next_pow2_at_least(stripes, 1).min(n);
+        StripedTable {
+            mask: n as u64 - 1,
+            stripe_shift: (n / s).trailing_zeros(),
+            stripes: (0..s).map(|_| Mutex::new(())).collect(),
+            buckets: (0..n).map(|_| std::cell::UnsafeCell::new(Vec::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe_of(&self, bucket: usize) -> usize {
+        bucket >> self.stripe_shift
+    }
+
+    /// Insert from any thread.
+    #[inline]
+    pub fn insert(&self, key: Key, ts: Ts) {
+        let b = bucket_of(key, self.mask);
+        let _guard = self.stripes[self.stripe_of(b)].lock();
+        // SAFETY: stripe latch held (see type-level invariant).
+        unsafe { (*self.buckets[b].get()).push((key, ts)) };
+    }
+
+    /// Call `f(ts)` for every stored entry with this key.
+    #[inline]
+    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+        let b = bucket_of(key, self.mask);
+        let _guard = self.stripes[self.stripe_of(b)].lock();
+        // SAFETY: stripe latch held.
+        for &(k, ts) in unsafe { (*self.buckets[b].get()).iter() } {
+            if k == key {
+                f(ts);
+            }
+        }
+    }
+
+    /// Total entries (takes every latch; diagnostics only).
+    pub fn len(&self) -> usize {
+        (0..self.buckets.len())
+            .map(|b| {
+                let _guard = self.stripes[self.stripe_of(b)].lock();
+                // SAFETY: stripe latch held.
+                unsafe { (*self.buckets[b].get()).len() }
+            })
+            .sum()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        let fixed = self.stripes.len() * std::mem::size_of::<Mutex<()>>()
+            + self.buckets.len() * std::mem::size_of::<Vec<(Key, Ts)>>();
+        let chains: usize = (0..self.buckets.len())
+            .map(|b| {
+                let _guard = self.stripes[self.stripe_of(b)].lock();
+                // SAFETY: stripe latch held.
+                unsafe { (*self.buckets[b].get()).capacity() * std::mem::size_of::<(Key, Ts)>() }
+            })
+            .sum();
+        fixed + chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_workers;
+
+    #[test]
+    fn local_insert_probe() {
+        let mut t = LocalTable::with_capacity(8);
+        t.insert(1, 100);
+        t.insert(1, 200);
+        t.insert(2, 300);
+        let mut seen = Vec::new();
+        t.probe(1, |ts| seen.push(ts));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![100, 200]);
+        assert_eq!(t.count(2), 1);
+        assert_eq!(t.count(99), 0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn local_handles_many_duplicates() {
+        let mut t = LocalTable::with_capacity(4);
+        for i in 0..1000 {
+            t.insert(7, i);
+        }
+        assert_eq!(t.count(7), 1000);
+    }
+
+    #[test]
+    fn local_grows_past_expected() {
+        let mut t = LocalTable::with_capacity(2);
+        for k in 0..100u32 {
+            t.insert(k, k);
+        }
+        for k in 0..100u32 {
+            assert_eq!(t.count(k), 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn local_bytes_nonzero() {
+        let t = LocalTable::with_capacity(100);
+        assert!(t.bytes() > 0);
+    }
+
+    #[test]
+    fn shared_concurrent_build_then_probe() {
+        let table = SharedTable::with_capacity(4096);
+        run_workers(4, |tid| {
+            for i in 0..1000u32 {
+                table.insert(i % 256, tid as u32 * 10_000 + i);
+            }
+        });
+        assert_eq!(table.len(), 4000);
+        // Every key 0..256 was inserted ceil/floor(4000/256) times per the
+        // modulo pattern: keys < 232 get 16, rest 15... actually each thread
+        // inserts key k exactly |{i<1000 : i%256==k}| times.
+        let expect = |k: u32| -> usize {
+            let per_thread = (0..1000u32).filter(|i| i % 256 == k).count();
+            per_thread * 4
+        };
+        for k in [0u32, 100, 255] {
+            let mut n = 0;
+            table.probe(k, |_| n += 1);
+            assert_eq!(n, expect(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn shared_probe_missing_key() {
+        let table = SharedTable::with_capacity(16);
+        table.insert(1, 1);
+        let mut n = 0;
+        table.probe(2, |_| n += 1);
+        assert_eq!(n, 0);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn shared_contended_single_bucket() {
+        // All threads hammer the same key: the per-bucket latch must
+        // serialise correctly and lose no inserts.
+        let table = SharedTable::with_capacity(1024);
+        run_workers(8, |_| {
+            for i in 0..500 {
+                table.insert(42, i);
+            }
+        });
+        let mut n = 0;
+        table.probe(42, |_| n += 1);
+        assert_eq!(n, 4000);
+    }
+
+    #[test]
+    fn striped_concurrent_build_then_probe() {
+        let table = StripedTable::with_capacity(4096, 64);
+        run_workers(4, |tid| {
+            for i in 0..1000u32 {
+                table.insert(i % 256, tid as u32 * 10_000 + i);
+            }
+        });
+        assert_eq!(table.len(), 4000);
+        for k in [0u32, 100, 255] {
+            let expect = (0..1000u32).filter(|i| i % 256 == k).count() * 4;
+            let mut n = 0;
+            table.probe(k, |_| n += 1);
+            assert_eq!(n, expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn striped_single_stripe_still_correct() {
+        // One stripe = a single global latch; correctness must not depend
+        // on stripe granularity.
+        let table = StripedTable::with_capacity(64, 1);
+        run_workers(8, |_| {
+            for i in 0..200 {
+                table.insert(7, i);
+            }
+        });
+        let mut n = 0;
+        table.probe(7, |_| n += 1);
+        assert_eq!(n, 1600);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn shared_bytes_grows_with_content() {
+        let table = SharedTable::with_capacity(16);
+        let before = table.bytes();
+        for i in 0..1000 {
+            table.insert(i, i);
+        }
+        assert!(table.bytes() > before);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Parallel runtime and shared join kernels.
+//!
+//! Every algorithm in the study is assembled from the primitives in this
+//! crate, mirroring how the paper's codebase reuses Balkesen et al.'s kernels
+//! across all eight algorithms (§4.2.2):
+//!
+//! - [`pool`] — scoped worker threads and barriers (the pthread harness).
+//! - [`timer`] — per-thread phase timers; wall time stands in for RDTSC and
+//!   is converted to cycles at the nominal 2.6 GHz of the paper's machine.
+//! - [`radix`] — histogram-based radix partitioning, sequential and
+//!   parallel (the PRJ substrate, also used by the Figure 18 sweep).
+//! - [`sort`] — the two sort backends: a deliberately branchy scalar
+//!   mergesort and a branchless, auto-vectorizable sorting-network variant
+//!   standing in for the original AVX `avxsort` (Figure 21).
+//! - [`merge`] — k-way (MWay) and successive pairwise (MPass) merging.
+//! - [`mergejoin`] — the duplicate-aware sorted-merge join kernel, plus the
+//!   run-provenance variant PMJ's merge phase needs.
+//! - [`hashtable`] — the shared bucket-chain table of NPJ and the
+//!   thread-local chained table used by PRJ and SHJ.
+
+pub mod hashtable;
+pub mod merge;
+pub mod mergejoin;
+pub mod pool;
+pub mod radix;
+pub mod sort;
+pub mod timer;
+
+pub use hashtable::{LocalTable, SharedTable, StripedTable};
+pub use pool::run_workers;
+pub use sort::SortBackend;
+pub use timer::{PhaseTimer, NOMINAL_GHZ};

@@ -1,0 +1,273 @@
+//! Sorted-merge join kernels.
+//!
+//! All sort-based algorithms in the study end in a single-pass merge join of
+//! two `(key, ts)`-sorted inputs. High key duplication — Rovio's 17960
+//! duplicates per key — makes the duplicate-group handling the hot path, so
+//! the kernel advances over equal-key *groups* and emits their cross
+//! product, which is also what makes sort joins cache-friendly on such
+//! workloads (§5.4, Figure 11).
+
+use iawj_common::{Key, Ts};
+
+/// Extract the key from a packed value (see `Tuple::pack`).
+#[inline(always)]
+fn key_of(packed: u64) -> Key {
+    (packed >> 32) as Key
+}
+
+/// Extract the timestamp from a packed value.
+#[inline(always)]
+fn ts_of(packed: u64) -> Ts {
+    packed as Ts
+}
+
+/// Length of the equal-key group starting at `start`.
+#[inline]
+fn group_len(data: &[u64], start: usize) -> usize {
+    let k = key_of(data[start]);
+    let mut end = start + 1;
+    while end < data.len() && key_of(data[end]) == k {
+        end += 1;
+    }
+    end - start
+}
+
+/// Merge-join two sorted packed arrays, emitting `(key, r_ts, s_ts)` for
+/// every matching pair.
+///
+/// ```
+/// use iawj_common::Tuple;
+/// use iawj_exec::mergejoin::merge_join;
+///
+/// let r = vec![Tuple::new(1, 0).pack(), Tuple::new(2, 5).pack()];
+/// let s = vec![Tuple::new(2, 7).pack(), Tuple::new(3, 1).pack()];
+/// let mut out = Vec::new();
+/// merge_join(&r, &s, |k, rts, sts| out.push((k, rts, sts)));
+/// assert_eq!(out, vec![(2, 5, 7)]);
+/// ```
+pub fn merge_join(r: &[u64], s: &[u64], mut emit: impl FnMut(Key, Ts, Ts)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let rk = key_of(r[i]);
+        let sk = key_of(s[j]);
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let rl = group_len(r, i);
+            let sl = group_len(s, j);
+            for &rv in &r[i..i + rl] {
+                let rts = ts_of(rv);
+                for &sv in &s[j..j + sl] {
+                    emit(rk, rts, ts_of(sv));
+                }
+            }
+            i += rl;
+            j += sl;
+        }
+    }
+}
+
+/// Merge-join with run provenance: emit only pairs whose run tags differ.
+///
+/// PMJ's initial phase joins run `k` of R against run `k` of S as soon as
+/// both are sorted; its merge phase must then join everything *except*
+/// those same-run pairs. `r_tags[i]` / `s_tags[j]` give the originating run
+/// of each element.
+pub fn merge_join_cross_runs(
+    r: &[u64],
+    r_tags: &[u32],
+    s: &[u64],
+    s_tags: &[u32],
+    mut emit: impl FnMut(Key, Ts, Ts),
+) {
+    debug_assert_eq!(r.len(), r_tags.len());
+    debug_assert_eq!(s.len(), s_tags.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let rk = key_of(r[i]);
+        let sk = key_of(s[j]);
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let rl = group_len(r, i);
+            let sl = group_len(s, j);
+            for (ri, &rv) in r[i..i + rl].iter().enumerate() {
+                let rts = ts_of(rv);
+                let rtag = r_tags[i + ri];
+                for (si, &sv) in s[j..j + sl].iter().enumerate() {
+                    if s_tags[j + si] != rtag {
+                        emit(rk, rts, ts_of(sv));
+                    }
+                }
+            }
+            i += rl;
+            j += sl;
+        }
+    }
+}
+
+/// Count matches without emitting (sizing, tests).
+pub fn count_matches(r: &[u64], s: &[u64]) -> u64 {
+    let mut n = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let rk = key_of(r[i]);
+        let sk = key_of(s[j]);
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let rl = group_len(r, i) as u64;
+            let sl = group_len(s, j) as u64;
+            n += rl * sl;
+            i += group_len(r, i);
+            j += group_len(s, j);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iawj_common::Tuple;
+
+    fn packed(pairs: &[(u32, u32)]) -> Vec<u64> {
+        let mut v: Vec<u64> = pairs.iter().map(|&(k, t)| Tuple::new(k, t).pack()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn collect(r: &[u64], s: &[u64]) -> Vec<(Key, Ts, Ts)> {
+        let mut out = Vec::new();
+        merge_join(r, s, |k, rt, st| out.push((k, rt, st)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn unique_keys_join_one_to_one() {
+        let r = packed(&[(1, 10), (2, 20), (4, 40)]);
+        let s = packed(&[(2, 21), (3, 31), (4, 41)]);
+        assert_eq!(collect(&r, &s), vec![(2, 20, 21), (4, 40, 41)]);
+    }
+
+    #[test]
+    fn duplicates_cross_product() {
+        let r = packed(&[(7, 1), (7, 2)]);
+        let s = packed(&[(7, 3), (7, 4), (7, 5)]);
+        let out = collect(&r, &s);
+        assert_eq!(out.len(), 6);
+        assert!(out.contains(&(7, 2, 5)));
+        assert_eq!(count_matches(&r, &s), 6);
+    }
+
+    #[test]
+    fn disjoint_keys_no_matches() {
+        let r = packed(&[(1, 0), (3, 0)]);
+        let s = packed(&[(2, 0), (4, 0)]);
+        assert!(collect(&r, &s).is_empty());
+        assert_eq!(count_matches(&r, &s), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(collect(&[], &[]).is_empty());
+        assert!(collect(&packed(&[(1, 1)]), &[]).is_empty());
+        assert!(collect(&[], &packed(&[(1, 1)])).is_empty());
+    }
+
+    #[test]
+    fn matches_nested_loop_reference() {
+        use iawj_common::Rng;
+        let mut rng = Rng::new(77);
+        let r_t: Vec<Tuple> = (0..200).map(|i| Tuple::new(rng.next_u32() % 32, i)).collect();
+        let s_t: Vec<Tuple> = (0..300).map(|i| Tuple::new(rng.next_u32() % 32, i)).collect();
+        let mut expect = Vec::new();
+        for rt in &r_t {
+            for st in &s_t {
+                if rt.key == st.key {
+                    expect.push((rt.key, rt.ts, st.ts));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let mut r: Vec<u64> = r_t.iter().map(|t| t.pack()).collect();
+        let mut s: Vec<u64> = s_t.iter().map(|t| t.pack()).collect();
+        r.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(collect(&r, &s), expect);
+        assert_eq!(count_matches(&r, &s), expect.len() as u64);
+    }
+
+    #[test]
+    fn cross_run_join_skips_same_run_pairs() {
+        // R: key 5 from runs 0 and 1; S: key 5 from runs 0 and 1.
+        let r = packed(&[(5, 1), (5, 2)]);
+        let r_tags = vec![0u32, 1];
+        let s = packed(&[(5, 3), (5, 4)]);
+        let s_tags = vec![0u32, 1];
+        let mut out = Vec::new();
+        merge_join_cross_runs(&r, &r_tags, &s, &s_tags, |k, rt, st| out.push((k, rt, st)));
+        out.sort_unstable();
+        // Same-run pairs (1,3) [run 0] and (2,4) [run 1] are skipped.
+        assert_eq!(out, vec![(5, 1, 4), (5, 2, 3)]);
+    }
+
+    #[test]
+    fn cross_run_plus_same_run_equals_full_join() {
+        use iawj_common::Rng;
+        let mut rng = Rng::new(9);
+        // Two runs per side.
+        let mk = |rng: &mut Rng, n: usize| -> Vec<Tuple> {
+            (0..n).map(|i| Tuple::new(rng.next_u32() % 8, i as u32)).collect()
+        };
+        let r0 = mk(&mut rng, 40);
+        let r1 = mk(&mut rng, 40);
+        let s0 = mk(&mut rng, 40);
+        let s1 = mk(&mut rng, 40);
+        // Full join of concatenations.
+        let all_r: Vec<Tuple> = r0.iter().chain(&r1).copied().collect();
+        let all_s: Vec<Tuple> = s0.iter().chain(&s1).copied().collect();
+        let mut full = Vec::new();
+        for rt in &all_r {
+            for st in &all_s {
+                if rt.key == st.key {
+                    full.push((rt.key, rt.ts, st.ts));
+                }
+            }
+        }
+        full.sort_unstable();
+        // Same-run joins (initial phase).
+        let mut got = Vec::new();
+        for (rr, ss) in [(&r0, &s0), (&r1, &s1)] {
+            for rt in rr.iter() {
+                for st in ss.iter() {
+                    if rt.key == st.key {
+                        got.push((rt.key, rt.ts, st.ts));
+                    }
+                }
+            }
+        }
+        // Cross-run join (merge phase).
+        let tag_sorted = |a: &[Tuple], b: &[Tuple]| -> (Vec<u64>, Vec<u32>) {
+            let mut pairs: Vec<(u64, u32)> = a
+                .iter()
+                .map(|t| (t.pack(), 0u32))
+                .chain(b.iter().map(|t| (t.pack(), 1u32)))
+                .collect();
+            pairs.sort_unstable();
+            (pairs.iter().map(|p| p.0).collect(), pairs.iter().map(|p| p.1).collect())
+        };
+        let (r, rt) = tag_sorted(&r0, &r1);
+        let (s, st) = tag_sorted(&s0, &s1);
+        merge_join_cross_runs(&r, &rt, &s, &st, |k, a, b| got.push((k, a, b)));
+        got.sort_unstable();
+        assert_eq!(got, full, "initial + merge phases must cover the full join exactly once");
+    }
+}

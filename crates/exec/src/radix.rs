@@ -1,0 +1,437 @@
+//! Histogram-based radix partitioning — the substrate of the Parallel Radix
+//! Join (PRJ) and of the Figure 18 `#radix-bits` sensitivity study.
+//!
+//! Tuples are partitioned on the binary digits of their *keys* (not a hash),
+//! exactly as Kim et al.'s original PRJ does: `partition = (key >> shift) &
+//! (fanout-1)`. The parallel variant follows the classic three-step shape —
+//! per-thread histograms, global prefix sums, contention-free scatter into
+//! disjoint output ranges.
+
+use crate::pool::{chunk_range, run_workers};
+use iawj_common::{Key, Tuple};
+
+/// Number of partitions produced by `bits` radix bits.
+#[inline]
+pub const fn fanout(bits: u32) -> usize {
+    1 << bits
+}
+
+/// Partition index of a key for the given pass.
+#[inline]
+pub fn partition_of(key: Key, shift: u32, bits: u32) -> usize {
+    ((key >> shift) as usize) & (fanout(bits) - 1)
+}
+
+/// Per-partition counts of a tuple slice.
+pub fn histogram(tuples: &[Tuple], shift: u32, bits: u32) -> Vec<u32> {
+    let mut hist = vec![0u32; fanout(bits)];
+    for t in tuples {
+        hist[partition_of(t.key, shift, bits)] += 1;
+    }
+    hist
+}
+
+/// A radix-partitioned relation: `data[bounds[p]..bounds[p+1]]` is
+/// partition `p`.
+#[derive(Clone, Debug)]
+pub struct Partitioned {
+    /// Tuples grouped by partition.
+    pub data: Vec<Tuple>,
+    /// Partition boundaries; length `fanout + 1`, first 0, last `data.len()`.
+    pub bounds: Vec<usize>,
+}
+
+impl Partitioned {
+    /// Number of partitions.
+    pub fn fanout(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Tuples of partition `p`.
+    #[inline]
+    pub fn partition(&self, p: usize) -> &[Tuple] {
+        &self.data[self.bounds[p]..self.bounds[p + 1]]
+    }
+}
+
+/// Sequential single-pass partitioning.
+pub fn partition_seq(tuples: &[Tuple], shift: u32, bits: u32) -> Partitioned {
+    let hist = histogram(tuples, shift, bits);
+    let f = fanout(bits);
+    let mut bounds = Vec::with_capacity(f + 1);
+    let mut acc = 0usize;
+    bounds.push(0);
+    for &h in &hist {
+        acc += h as usize;
+        bounds.push(acc);
+    }
+    let mut cursor: Vec<usize> = bounds[..f].to_vec();
+    let mut data = vec![Tuple::default(); tuples.len()];
+    for t in tuples {
+        let p = partition_of(t.key, shift, bits);
+        data[cursor[p]] = *t;
+        cursor[p] += 1;
+    }
+    Partitioned { data, bounds }
+}
+
+/// A shared output buffer that scatter workers write disjoint slots of.
+///
+/// The buffer is plain `Vec<Tuple>` storage behind an `UnsafeCell`; the
+/// radix prefix-sum construction guarantees writers never alias (each
+/// `(thread, partition)` pair owns an exclusive index range), and callers
+/// separate the write epoch from the read epoch with a barrier.
+pub struct SharedOut {
+    buf: std::cell::UnsafeCell<Vec<Tuple>>,
+}
+
+// SAFETY: all mutation goes through `write`, whose contract requires
+// disjoint indices across threads; reads require the write epoch to be over.
+unsafe impl Sync for SharedOut {}
+unsafe impl Send for SharedOut {}
+
+impl SharedOut {
+    /// Zero-filled buffer of `len` tuples.
+    pub fn new(len: usize) -> Self {
+        SharedOut { buf: std::cell::UnsafeCell::new(vec![Tuple::default(); len]) }
+    }
+
+    /// Write one slot.
+    ///
+    /// # Safety
+    /// No two concurrent callers may pass the same `idx`, `idx` must be in
+    /// bounds, and no reader may run concurrently with writers.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, t: Tuple) {
+        debug_assert!(idx < (*self.buf.get()).len());
+        *(*self.buf.get()).as_mut_ptr().add(idx) = t;
+    }
+
+    /// View the contents.
+    ///
+    /// # Safety
+    /// All writes must have happened-before this call (e.g. via a barrier).
+    pub unsafe fn as_slice(&self) -> &[Tuple] {
+        &*self.buf.get()
+    }
+
+    /// Consume into the underlying vector (single-owner, hence safe).
+    pub fn into_vec(self) -> Vec<Tuple> {
+        self.buf.into_inner()
+    }
+}
+
+/// The scatter offsets computed from per-thread histograms: everything a
+/// worker needs to place its chunk's tuples without contention.
+pub struct ScatterPlan {
+    /// Global partition boundaries (`fanout + 1` entries).
+    pub bounds: Vec<usize>,
+    starts: Vec<usize>,
+    fanout: usize,
+    shift: u32,
+    bits: u32,
+}
+
+impl ScatterPlan {
+    /// Build the plan from one histogram per thread (thread order must
+    /// match the chunk order used for scatter).
+    pub fn from_histograms(hists: &[Vec<u32>], shift: u32, bits: u32) -> Self {
+        let threads = hists.len();
+        let f = fanout(bits);
+        let mut bounds = Vec::with_capacity(f + 1);
+        bounds.push(0usize);
+        let mut starts = vec![0usize; threads * f];
+        let mut acc = 0usize;
+        for p in 0..f {
+            for (t, hist) in hists.iter().enumerate() {
+                starts[t * f + p] = acc;
+                acc += hist[p] as usize;
+            }
+            bounds.push(acc);
+        }
+        ScatterPlan { bounds, starts, fanout: f, shift, bits }
+    }
+
+    /// Total tuples the plan accounts for.
+    pub fn total(&self) -> usize {
+        *self.bounds.last().expect("bounds never empty")
+    }
+
+    /// Scatter thread `tid`'s input chunk into the shared output.
+    /// `chunk` must be exactly the slice whose histogram was `hists[tid]`.
+    pub fn scatter_chunk(&self, chunk: &[Tuple], tid: usize, out: &SharedOut) {
+        let f = self.fanout;
+        let mut cursor = self.starts[tid * f..(tid + 1) * f].to_vec();
+        for t in chunk {
+            let p = partition_of(t.key, self.shift, self.bits);
+            // SAFETY: cursor[p] walks starts[tid*f+p] .. +hists[tid][p]; the
+            // prefix sum makes those ranges disjoint across (tid, p) pairs
+            // and they tile 0..total().
+            unsafe { out.write(cursor[p], *t) };
+            cursor[p] += 1;
+        }
+    }
+
+    /// Software write-combining scatter (Balkesen et al.'s SWWCB): tuples
+    /// are staged in a cache-line-sized buffer per partition and flushed a
+    /// whole line at a time, so each partition costs one TLB entry per
+    /// flush instead of one per tuple. Output is identical to
+    /// [`ScatterPlan::scatter_chunk`], including within-partition order.
+    pub fn scatter_chunk_buffered(&self, chunk: &[Tuple], tid: usize, out: &SharedOut) {
+        /// Tuples per 64-byte cache line.
+        const LINE: usize = 8;
+        let f = self.fanout;
+        let mut cursor = self.starts[tid * f..(tid + 1) * f].to_vec();
+        let mut bufs = vec![[Tuple::default(); LINE]; f];
+        let mut fill = vec![0u8; f];
+        for t in chunk {
+            let p = partition_of(t.key, self.shift, self.bits);
+            let n = fill[p] as usize;
+            bufs[p][n] = *t;
+            if n + 1 == LINE {
+                // SAFETY: same disjointness argument as scatter_chunk —
+                // cursor[p] stays within this (tid, p) range; a full line
+                // advances it by LINE.
+                for (i, bt) in bufs[p].iter().enumerate() {
+                    unsafe { out.write(cursor[p] + i, *bt) };
+                }
+                cursor[p] += LINE;
+                fill[p] = 0;
+            } else {
+                fill[p] = (n + 1) as u8;
+            }
+        }
+        for p in 0..f {
+            for (i, bt) in bufs[p][..fill[p] as usize].iter().enumerate() {
+                // SAFETY: flushes the partial tail within the same range.
+                unsafe { out.write(cursor[p] + i, *bt) };
+            }
+        }
+    }
+}
+
+/// Parallel single-pass partitioning: per-thread histograms, exclusive
+/// prefix sums, then each thread scatters its own input chunk into its
+/// pre-reserved, mutually disjoint output slots.
+pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usize) -> Partitioned {
+    assert!(threads > 0);
+    if threads == 1 || tuples.len() < 1024 {
+        return partition_seq(tuples, shift, bits);
+    }
+
+    // Step 1: per-thread histograms over contiguous input chunks.
+    let hists: Vec<Vec<u32>> = run_workers(threads, |tid| {
+        histogram(&tuples[chunk_range(tuples.len(), threads, tid)], shift, bits)
+    });
+
+    // Step 2: global partition bounds and per-(thread, partition) start
+    // offsets. Offsets are laid out partition-major: within partition `p`,
+    // thread 0's tuples precede thread 1's, etc.
+    let plan = ScatterPlan::from_histograms(&hists, shift, bits);
+    debug_assert_eq!(plan.total(), tuples.len());
+
+    // Step 3: contention-free scatter.
+    let out = SharedOut::new(tuples.len());
+    let plan_ref = &plan;
+    let out_ref = &out;
+    run_workers(threads, |tid| {
+        plan_ref.scatter_chunk(&tuples[chunk_range(tuples.len(), threads, tid)], tid, out_ref);
+    });
+    Partitioned { data: out.into_vec(), bounds: plan.bounds }
+}
+
+/// Two-pass recursive partitioning: first pass on the low `bits1` key bits,
+/// then each first-pass partition is re-partitioned on the next `bits2`
+/// bits. This is how PRJ keeps the first-pass fan-out within TLB reach while
+/// still producing cache-sized final partitions (Balkesen et al.).
+pub fn partition_two_pass(
+    tuples: &[Tuple],
+    bits1: u32,
+    bits2: u32,
+    threads: usize,
+) -> Partitioned {
+    let first = partition_parallel(tuples, 0, bits1, threads);
+    if bits2 == 0 {
+        return first;
+    }
+    let f1 = fanout(bits1);
+    let f2 = fanout(bits2);
+    let mut data = vec![Tuple::default(); tuples.len()];
+    let mut bounds = Vec::with_capacity(f1 * f2 + 1);
+    bounds.push(0usize);
+    // Second pass is embarrassingly parallel over first-pass partitions;
+    // run it with the same worker count, each worker taking a slice of
+    // partitions. Output layout: partition (p1, p2) at index p1*f2 + p2.
+    let sub: Vec<Partitioned> = run_workers(threads, |tid| {
+        let range = chunk_range(f1, threads, tid);
+        range
+            .map(|p1| partition_seq(first.partition(p1), bits1, bits2))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut cursor = 0usize;
+    for part in &sub {
+        for p2 in 0..f2 {
+            let src = part.partition(p2);
+            data[cursor..cursor + src.len()].copy_from_slice(src);
+            cursor += src.len();
+            bounds.push(cursor);
+        }
+    }
+    debug_assert_eq!(cursor, tuples.len());
+    Partitioned { data, bounds }
+}
+
+/// Sequential partitioning via the write-combining scatter — the SWWCB
+/// ablation counterpart of [`partition_seq`].
+pub fn partition_seq_buffered(tuples: &[Tuple], shift: u32, bits: u32) -> Partitioned {
+    let hist = histogram(tuples, shift, bits);
+    let plan = ScatterPlan::from_histograms(std::slice::from_ref(&hist), shift, bits);
+    let out = SharedOut::new(tuples.len());
+    plan.scatter_chunk_buffered(tuples, 0, &out);
+    Partitioned { data: out.into_vec(), bounds: plan.bounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iawj_common::Rng;
+
+    fn random_tuples(n: usize, key_space: u32, seed: u64) -> Vec<Tuple> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % key_space, i as u32))
+            .collect()
+    }
+
+    fn check_partitioned(p: &Partitioned, input: &[Tuple], shift: u32, bits: u32) {
+        // Same multiset.
+        let mut a: Vec<u64> = input.iter().map(|t| t.pack()).collect();
+        let mut b: Vec<u64> = p.data.iter().map(|t| t.pack()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "partitioning changed the multiset");
+        // Every tuple in the right partition.
+        for part in 0..p.fanout() {
+            for t in p.partition(part) {
+                assert_eq!(partition_of(t.key, shift, bits), part);
+            }
+        }
+        assert_eq!(*p.bounds.last().unwrap(), input.len());
+    }
+
+    #[test]
+    fn sequential_partition_correct() {
+        let input = random_tuples(1000, 512, 1);
+        let p = partition_seq(&input, 0, 4);
+        check_partitioned(&p, &input, 0, 4);
+        assert_eq!(p.fanout(), 16);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let input = random_tuples(20_000, 1 << 14, 2);
+        let seq = partition_seq(&input, 0, 6);
+        let par = partition_parallel(&input, 0, 6, 4);
+        assert_eq!(seq.bounds, par.bounds);
+        check_partitioned(&par, &input, 0, 6);
+        // Within a partition, parallel scatter preserves input order
+        // (thread chunks are contiguous and offsets partition-major).
+        assert_eq!(seq.data, par.data);
+    }
+
+    #[test]
+    fn shifted_pass_uses_higher_bits() {
+        let input = random_tuples(500, 1 << 10, 3);
+        let p = partition_seq(&input, 4, 4);
+        check_partitioned(&p, &input, 4, 4);
+    }
+
+    #[test]
+    fn two_pass_refines_first_pass() {
+        let input = random_tuples(10_000, 1 << 12, 4);
+        let p = partition_two_pass(&input, 4, 4, 3);
+        assert_eq!(p.fanout(), 256);
+        // Two-pass partition (p1, p2) must equal single-pass on 8 bits:
+        // index p1*16+p2 collects keys with low bits p2*16+p1... careful:
+        // pass 1 takes bits [0,4), pass 2 bits [4,8). Tuple with key k goes
+        // to p1 = k&15, p2 = (k>>4)&15, i.e. flat index (k&15)*16 + (k>>4&15).
+        for p1 in 0..16usize {
+            for p2 in 0..16usize {
+                for t in p.partition(p1 * 16 + p2) {
+                    assert_eq!((t.key & 15) as usize, p1);
+                    assert_eq!(((t.key >> 4) & 15) as usize, p2);
+                }
+            }
+        }
+        // Multiset preserved.
+        let mut a: Vec<u64> = input.iter().map(|t| t.pack()).collect();
+        let mut b: Vec<u64> = p.data.iter().map(|t| t.pack()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = partition_parallel(&[], 0, 5, 4);
+        assert_eq!(p.fanout(), 32);
+        assert_eq!(p.data.len(), 0);
+        assert!(p.bounds.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn skewed_keys_pile_into_one_partition() {
+        let input: Vec<Tuple> = (0..100).map(|i| Tuple::new(64, i)).collect();
+        let p = partition_seq(&input, 0, 4);
+        // key 64 -> low 4 bits are 0.
+        assert_eq!(p.partition(0).len(), 100);
+        for q in 1..16 {
+            assert!(p.partition(q).is_empty());
+        }
+    }
+
+    #[test]
+    fn buffered_scatter_equals_plain() {
+        for (n, keys, bits) in [(5000usize, 1u32 << 12, 8u32), (100, 16, 4), (7, 4, 2), (0, 4, 2)] {
+            let input = random_tuples(n, keys.max(1), n as u64 + 9);
+            let plain = partition_seq(&input, 0, bits);
+            let buffered = partition_seq_buffered(&input, 0, bits);
+            assert_eq!(plain.bounds, buffered.bounds, "n={n} bits={bits}");
+            assert_eq!(plain.data, buffered.data, "n={n} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn buffered_scatter_parallel_chunks_disjoint() {
+        // Drive the buffered scatter the way PRJ does: one plan, several
+        // chunks, flushed independently.
+        let input = random_tuples(4096, 1 << 10, 77);
+        let threads = 4;
+        let hists: Vec<Vec<u32>> = (0..threads)
+            .map(|t| histogram(&input[crate::pool::chunk_range(input.len(), threads, t)], 0, 6))
+            .collect();
+        let plan = ScatterPlan::from_histograms(&hists, 0, 6);
+        let out = SharedOut::new(input.len());
+        for t in 0..threads {
+            plan.scatter_chunk_buffered(
+                &input[crate::pool::chunk_range(input.len(), threads, t)],
+                t,
+                &out,
+            );
+        }
+        let data = out.into_vec();
+        let expect = partition_parallel(&input, 0, 6, threads);
+        assert_eq!(data, expect.data);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let input = vec![Tuple::new(0, 0), Tuple::new(1, 0), Tuple::new(17, 0)];
+        let h = histogram(&input, 0, 4);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2, "keys 1 and 17 share low nibble 1");
+    }
+}

@@ -1,0 +1,333 @@
+//! The two sort backends of the study.
+//!
+//! The paper's sort-based algorithms use the AVX `avxsort` of Balkesen et
+//! al. (bitonic sorting networks in SIMD registers) and compare against a
+//! non-SIMD build (Figure 21). Raw AVX intrinsics are not portable, so the
+//! substitution here is at the codegen level:
+//!
+//! - [`SortBackend::Vectorized`] sorts 8-element blocks with a branchless
+//!   Batcher odd-even network (pure `min`/`max` data flow that LLVM
+//!   auto-vectorizes) and merges runs with a branch-free two-way merge.
+//! - [`SortBackend::Scalar`] sorts blocks by insertion sort and merges with
+//!   data-dependent branches — the shape a non-SIMD `-no-avx` build takes.
+//!
+//! Both sort *packed* tuples: `(key << 32) | ts` in a `u64`, so an unsigned
+//! integer sort is exactly a `(key, ts)` sort (see `Tuple::pack`).
+
+use iawj_common::Tuple;
+
+/// Which sort implementation to use. The runtime flag mirrors the paper's
+/// "with/without AVX" build switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SortBackend {
+    /// Branchy insertion-sort blocks + branching merges (the no-SIMD build).
+    Scalar,
+    /// Branchless sorting-network blocks + branch-free merges (the SIMD
+    /// stand-in). Default, as in the paper.
+    #[default]
+    Vectorized,
+}
+
+impl SortBackend {
+    /// Short label for harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SortBackend::Scalar => "scalar",
+            SortBackend::Vectorized => "vectorized",
+        }
+    }
+}
+
+/// Pack tuples for sorting.
+pub fn pack_tuples(tuples: &[Tuple]) -> Vec<u64> {
+    tuples.iter().map(|t| t.pack()).collect()
+}
+
+/// Unpack a sorted packed array back into tuples.
+pub fn unpack_tuples(packed: &[u64]) -> Vec<Tuple> {
+    packed.iter().map(|&p| Tuple::unpack(p)).collect()
+}
+
+/// Sort packed values ascending with the chosen backend.
+///
+/// ```
+/// use iawj_exec::sort::{sort_packed, SortBackend};
+///
+/// let mut v = vec![5u64, 1, 4, 2, 3];
+/// sort_packed(&mut v, SortBackend::Vectorized);
+/// assert_eq!(v, [1, 2, 3, 4, 5]);
+/// ```
+pub fn sort_packed(data: &mut [u64], backend: SortBackend) {
+    match backend {
+        SortBackend::Scalar => sort_scalar(data),
+        SortBackend::Vectorized => sort_vectorized(data),
+    }
+}
+
+/// Convenience: sort a tuple slice by `(key, ts)` via packing.
+pub fn sort_tuples(tuples: &mut [Tuple], backend: SortBackend) {
+    let mut packed = pack_tuples(tuples);
+    sort_packed(&mut packed, backend);
+    for (t, &p) in tuples.iter_mut().zip(packed.iter()) {
+        *t = Tuple::unpack(p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend
+// ---------------------------------------------------------------------------
+
+const SCALAR_BLOCK: usize = 32;
+
+fn insertion_sort(data: &mut [u64]) {
+    for i in 1..data.len() {
+        let v = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > v {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = v;
+    }
+}
+
+/// Branching two-way merge of `src[lo..mid]` and `src[mid..hi]` into
+/// `dst[lo..hi]`.
+fn merge_branching(src: &[u64], dst: &mut [u64], lo: usize, mid: usize, hi: usize) {
+    let (mut i, mut j, mut k) = (lo, mid, lo);
+    while i < mid && j < hi {
+        if src[i] <= src[j] {
+            dst[k] = src[i];
+            i += 1;
+        } else {
+            dst[k] = src[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    if i < mid {
+        dst[k..hi].copy_from_slice(&src[i..mid]);
+    } else {
+        dst[k..hi].copy_from_slice(&src[j..hi]);
+    }
+}
+
+fn sort_scalar(data: &mut [u64]) {
+    bottom_up_mergesort(data, SCALAR_BLOCK, insertion_sort, merge_branching);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized backend
+// ---------------------------------------------------------------------------
+
+/// Branchless compare-exchange: after the call `a <= b`.
+#[inline(always)]
+fn cswap(data: &mut [u64], i: usize, j: usize) {
+    let (a, b) = (data[i], data[j]);
+    data[i] = a.min(b);
+    data[j] = a.max(b);
+}
+
+/// Batcher odd-even sorting network for 8 elements (19 comparators). Pure
+/// min/max data flow: no data-dependent branches, so the compiler can map
+/// it onto SIMD min/max lanes.
+#[inline]
+fn sort8_network(data: &mut [u64]) {
+    debug_assert!(data.len() >= 8);
+    cswap(data, 0, 1);
+    cswap(data, 2, 3);
+    cswap(data, 4, 5);
+    cswap(data, 6, 7);
+    cswap(data, 0, 2);
+    cswap(data, 1, 3);
+    cswap(data, 4, 6);
+    cswap(data, 5, 7);
+    cswap(data, 1, 2);
+    cswap(data, 5, 6);
+    cswap(data, 0, 4);
+    cswap(data, 1, 5);
+    cswap(data, 2, 6);
+    cswap(data, 3, 7);
+    cswap(data, 2, 4);
+    cswap(data, 3, 5);
+    cswap(data, 1, 2);
+    cswap(data, 3, 4);
+    cswap(data, 5, 6);
+}
+
+fn sort_blocks_network(data: &mut [u64]) {
+    let mut chunks = data.chunks_exact_mut(8);
+    for c in &mut chunks {
+        sort8_network(c);
+    }
+    insertion_sort(chunks.into_remainder());
+}
+
+/// Branch-free two-way merge: selection and cursor advances are arithmetic
+/// on the comparison mask, which compiles to conditional moves.
+fn merge_branchless(src: &[u64], dst: &mut [u64], lo: usize, mid: usize, hi: usize) {
+    let (mut i, mut j, mut k) = (lo, mid, lo);
+    while i < mid && j < hi {
+        let a = src[i];
+        let b = src[j];
+        let take_a = a <= b;
+        dst[k] = if take_a { a } else { b };
+        i += take_a as usize;
+        j += !take_a as usize;
+        k += 1;
+    }
+    if i < mid {
+        dst[k..hi].copy_from_slice(&src[i..mid]);
+    } else {
+        dst[k..hi].copy_from_slice(&src[j..hi]);
+    }
+}
+
+fn sort_vectorized(data: &mut [u64]) {
+    bottom_up_mergesort(data, 8, sort_blocks_network, merge_branchless);
+}
+
+// ---------------------------------------------------------------------------
+// Shared bottom-up driver
+// ---------------------------------------------------------------------------
+
+/// Bottom-up mergesort: sort fixed blocks with `block_sort`, then double run
+/// width each pass, ping-ponging between `data` and one scratch buffer.
+fn bottom_up_mergesort(
+    data: &mut [u64],
+    block: usize,
+    block_sort: impl Fn(&mut [u64]),
+    merge: impl Fn(&[u64], &mut [u64], usize, usize, usize),
+) {
+    let n = data.len();
+    if n <= block {
+        block_sort(data);
+        return;
+    }
+    if block > 1 {
+        for chunk in data.chunks_mut(block) {
+            // chunks_mut gives the tail its true (shorter) length, which
+            // both block sorters handle.
+            block_sort(chunk);
+        }
+    }
+    let mut scratch = vec![0u64; n];
+    let mut src_is_data = true;
+    let mut width = block;
+    while width < n {
+        {
+            let (src, dst): (&[u64], &mut [u64]) = if src_is_data {
+                (data, &mut scratch)
+            } else {
+                (&scratch, data)
+            };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                if mid < hi {
+                    merge(src, dst, lo, mid, hi);
+                } else {
+                    dst[lo..hi].copy_from_slice(&src[lo..hi]);
+                }
+                lo = hi;
+            }
+        }
+        src_is_data = !src_is_data;
+        width *= 2;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iawj_common::Rng;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn sort8_network_is_a_sorting_network() {
+        // 0-1 principle: a comparator network sorts all inputs iff it sorts
+        // all 2^8 zero-one sequences.
+        for mask in 0u32..256 {
+            let mut v: Vec<u64> = (0..8).map(|b| ((mask >> b) & 1) as u64).collect();
+            sort8_network(&mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "mask {mask:08b}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn both_backends_sort_correctly() {
+        for &backend in &[SortBackend::Scalar, SortBackend::Vectorized] {
+            for n in [0usize, 1, 2, 7, 8, 9, 31, 32, 33, 100, 1000, 4097] {
+                let mut v = random_vec(n, n as u64 + 1);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_packed(&mut v, backend);
+                assert_eq!(v, expect, "backend {backend:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed() {
+        for &backend in &[SortBackend::Scalar, SortBackend::Vectorized] {
+            let mut asc: Vec<u64> = (0..500).collect();
+            sort_packed(&mut asc, backend);
+            assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+            let mut desc: Vec<u64> = (0..500).rev().collect();
+            sort_packed(&mut desc, backend);
+            assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        for &backend in &[SortBackend::Scalar, SortBackend::Vectorized] {
+            let mut v = vec![5u64; 100];
+            v.extend(std::iter::repeat_n(3u64, 50));
+            sort_packed(&mut v, backend);
+            assert_eq!(&v[..50], &[3u64; 50][..]);
+            assert_eq!(&v[50..], &[5u64; 100][..]);
+        }
+    }
+
+    #[test]
+    fn sort_tuples_orders_by_key_then_ts() {
+        let mut tuples = vec![
+            Tuple::new(2, 0),
+            Tuple::new(1, 7),
+            Tuple::new(1, 3),
+            Tuple::new(0, 9),
+        ];
+        sort_tuples(&mut tuples, SortBackend::Vectorized);
+        assert_eq!(
+            tuples,
+            vec![
+                Tuple::new(0, 9),
+                Tuple::new(1, 3),
+                Tuple::new(1, 7),
+                Tuple::new(2, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let tuples: Vec<Tuple> = (0..100).map(|i| Tuple::new(i * 3, i)).collect();
+        assert_eq!(unpack_tuples(&pack_tuples(&tuples)), tuples);
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(SortBackend::Scalar.label(), "scalar");
+        assert_eq!(SortBackend::Vectorized.label(), "vectorized");
+        assert_eq!(SortBackend::default(), SortBackend::Vectorized);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-thread phase timing.
+//!
+//! The paper uses RDTSC for low-overhead timestamps (§4.2.2) and reports
+//! costs in cycles at the machine's 2.6 GHz nominal clock. We use
+//! `std::time::Instant` (vDSO-backed on Linux, tens of nanoseconds per call
+//! — well under the paper's 5% overhead budget) and convert to cycles at the
+//! same nominal frequency so the harness axes are comparable.
+
+use iawj_common::{Phase, PhaseBreakdown};
+use std::time::Instant;
+
+/// Nominal clock of the paper's Xeon Gold 6126, for ns → cycle conversion.
+pub const NOMINAL_GHZ: f64 = 2.6;
+
+/// Accumulates wall time into the six breakdown phases. One per worker
+/// thread; exactly one phase is "open" at any moment.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    breakdown: PhaseBreakdown,
+    current: Phase,
+    since: Instant,
+}
+
+impl PhaseTimer {
+    /// Start timing in the given phase.
+    pub fn start(initial: Phase) -> Self {
+        PhaseTimer {
+            breakdown: PhaseBreakdown::zero(),
+            current: initial,
+            since: Instant::now(),
+        }
+    }
+
+    /// Close the current phase and open `next`. Switching to the phase that
+    /// is already open is a cheap no-op semantically (time keeps
+    /// accumulating there).
+    #[inline]
+    pub fn switch_to(&mut self, next: Phase) {
+        if next == self.current {
+            return;
+        }
+        let now = Instant::now();
+        self.breakdown
+            .add_ns(self.current, (now - self.since).as_nanos() as u64);
+        self.current = next;
+        self.since = now;
+    }
+
+    /// The phase currently being timed.
+    pub fn current(&self) -> Phase {
+        self.current
+    }
+
+    /// Close the open phase and return the final breakdown.
+    pub fn finish(mut self) -> PhaseBreakdown {
+        let now = Instant::now();
+        self.breakdown
+            .add_ns(self.current, (now - self.since).as_nanos() as u64);
+        self.breakdown
+    }
+
+    /// Time `f` against a specific phase, then return to the previous phase.
+    #[inline]
+    pub fn in_phase<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let prev = self.current;
+        self.switch_to(phase);
+        let out = f();
+        self.switch_to(prev);
+        out
+    }
+}
+
+/// Convert nanoseconds to nominal cycles.
+#[inline]
+pub fn ns_to_cycles(ns: u64) -> f64 {
+    ns as f64 * NOMINAL_GHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn accumulates_into_phases() {
+        let mut t = PhaseTimer::start(Phase::Wait);
+        std::thread::sleep(Duration::from_millis(5));
+        t.switch_to(Phase::Probe);
+        std::thread::sleep(Duration::from_millis(5));
+        let b = t.finish();
+        assert!(b[Phase::Wait] >= 4_000_000, "wait={}", b[Phase::Wait]);
+        assert!(b[Phase::Probe] >= 4_000_000, "probe={}", b[Phase::Probe]);
+        assert_eq!(b[Phase::Merge], 0);
+    }
+
+    #[test]
+    fn switch_to_same_phase_is_noop() {
+        let mut t = PhaseTimer::start(Phase::BuildSort);
+        t.switch_to(Phase::BuildSort);
+        assert_eq!(t.current(), Phase::BuildSort);
+        let b = t.finish();
+        assert_eq!(b.total_ns(), b[Phase::BuildSort]);
+    }
+
+    #[test]
+    fn in_phase_restores_previous() {
+        let mut t = PhaseTimer::start(Phase::Other);
+        let v = t.in_phase(Phase::Merge, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(t.current(), Phase::Other);
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        assert!((ns_to_cycles(1000) - 2600.0).abs() < 1e-9);
+    }
+}

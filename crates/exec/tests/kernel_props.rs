@@ -1,0 +1,137 @@
+//! Property-based tests of the kernel layer: the invariants every join
+//! algorithm silently relies on.
+
+use iawj_exec::hashtable::{LocalTable, SharedTable};
+use iawj_exec::merge::{
+    choose_splitters, kway_merge, kway_merge_loser, kway_merge_tagged, merge_two_into,
+    merge_two_into_branchless, pairwise_merge, run_segment, splitter_bounds,
+};
+use iawj_exec::radix::{partition_two_pass, Partitioned};
+use iawj_exec::sort::{sort_packed, SortBackend};
+use iawj_common::Tuple;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn merge_two_variants_agree(a in proptest::collection::vec(any::<u64>(), 0..500),
+                                b in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let a = sorted(a);
+        let b = sorted(b);
+        let mut out1 = Vec::new();
+        merge_two_into(&a, &b, &mut out1);
+        let mut out2 = Vec::new();
+        merge_two_into_branchless(&a, &b, &mut out2);
+        prop_assert_eq!(&out1, &out2);
+        let expect = sorted(a.iter().chain(b.iter()).copied().collect());
+        prop_assert_eq!(out1, expect);
+    }
+
+    #[test]
+    fn kway_and_pairwise_agree(runs in proptest::collection::vec(
+        proptest::collection::vec(any::<u64>(), 0..120), 0..8)) {
+        let runs: Vec<Vec<u64>> = runs.into_iter().map(sorted).collect();
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let k = kway_merge(&refs);
+        let expect = sorted(runs.iter().flatten().copied().collect());
+        prop_assert_eq!(&k, &expect);
+        prop_assert_eq!(&kway_merge_loser(&refs), &expect);
+        prop_assert_eq!(pairwise_merge(runs.clone()), expect);
+        // Tagged merge yields the same values with valid provenance.
+        let (vals, tags) = kway_merge_tagged(&refs);
+        prop_assert_eq!(&vals, &k);
+        for (&v, &t) in vals.iter().zip(tags.iter()) {
+            prop_assert!(runs[t as usize].contains(&v));
+        }
+    }
+
+    #[test]
+    fn splitter_segments_tile_every_run(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX - 1, 1..200), 1..5),
+        n in 1usize..9) {
+        let runs: Vec<Vec<u64>> = runs.into_iter().map(sorted).collect();
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let bounds = splitter_bounds(&choose_splitters(&refs, n));
+        for run in &runs {
+            let total: usize = bounds.iter()
+                .map(|&(lo, hi)| run_segment(run, lo, hi).len())
+                .sum();
+            // Every element except a possible u64::MAX (excluded above) is
+            // covered exactly once.
+            prop_assert_eq!(total, run.len());
+        }
+    }
+
+    #[test]
+    fn two_pass_partition_preserves_multiset(
+        keys in proptest::collection::vec(any::<u32>(), 0..1500),
+        bits1 in 1u32..5, bits2 in 0u32..5, threads in 1usize..4) {
+        let tuples: Vec<Tuple> = keys.iter().enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u32)).collect();
+        let p: Partitioned = partition_two_pass(&tuples, bits1, bits2, threads);
+        let mut a: Vec<u64> = tuples.iter().map(|t| t.pack()).collect();
+        let mut b: Vec<u64> = p.data.iter().map(|t| t.pack()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(p.fanout(), 1usize << (bits1 + bits2));
+    }
+
+    #[test]
+    fn local_table_agrees_with_hashmap(ops in proptest::collection::vec((any::<u8>(), 0u32..64), 0..800)) {
+        let mut table = LocalTable::with_capacity(16);
+        let mut model: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, &(_, key)) in ops.iter().enumerate() {
+            table.insert(key, i as u32);
+            model.entry(key).or_default().push(i as u32);
+        }
+        for key in 0u32..64 {
+            let mut got = Vec::new();
+            table.probe(key, |ts| got.push(ts));
+            got.sort_unstable();
+            let mut expect = model.get(&key).cloned().unwrap_or_default();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn sort_backends_idempotent(data in proptest::collection::vec(any::<u64>(), 0..800)) {
+        for backend in [SortBackend::Scalar, SortBackend::Vectorized] {
+            let mut v = data.clone();
+            sort_packed(&mut v, backend);
+            let once = v.clone();
+            sort_packed(&mut v, backend);
+            prop_assert_eq!(&v, &once, "{:?} not idempotent", backend);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}
+
+#[test]
+fn shared_table_concurrent_stress() {
+    // 8 threads × 4 rounds of mixed-key inserts; total count must be exact
+    // and every key's chain complete.
+    let table = SharedTable::with_capacity(1 << 12);
+    iawj_exec::run_workers(8, |tid| {
+        for round in 0..4u32 {
+            for k in 0..512u32 {
+                table.insert(k % 97, tid as u32 * 1000 + round * 100 + k % 7);
+            }
+        }
+    });
+    assert_eq!(table.len(), 8 * 4 * 512);
+    let mut total = 0usize;
+    for k in 0..97u32 {
+        let mut n = 0;
+        table.probe(k, |_| n += 1);
+        total += n;
+    }
+    assert_eq!(total, 8 * 4 * 512);
+}

@@ -1,0 +1,75 @@
+//! Continuous operation: the intra-window join as a building block for
+//! tumbling- and session-windowed analytics (§2 of the paper notes IaWJ
+//! composes under any window type; `iawj_core::windowing` provides that
+//! layer).
+//!
+//! The scenario: a clickstream (R) joined with a purchase stream (S) per
+//! user, reported per 250 ms tumbling window and again per activity
+//! session.
+//!
+//! Run with: `cargo run --release --example continuous_dashboard`
+
+use iawj_study::core::windowing::{execute_windowed, WindowSpec};
+use iawj_study::core::{Algorithm, RunConfig};
+use iawj_study::common::{Rng, Tuple};
+
+/// Two bursts of activity with a quiet gap — realistic session structure.
+fn bursty_stream(seed: u64, users: u32) -> Vec<Tuple> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::new();
+    for burst_start in [0u32, 1500] {
+        for _ in 0..4000 {
+            let ts = burst_start + rng.below(700) as u32;
+            out.push(Tuple::new(rng.below(users as u64) as u32, ts));
+        }
+    }
+    out.sort_unstable_by_key(|t| t.ts);
+    out
+}
+
+fn main() {
+    let clicks = bursty_stream(1, 500);
+    let purchases = bursty_stream(2, 500);
+    let cfg = RunConfig::with_threads(4);
+
+    println!("tumbling 250 ms windows (PRJ per window):");
+    let windows = execute_windowed(
+        Algorithm::Prj,
+        &clicks,
+        &purchases,
+        WindowSpec::Tumbling { len_ms: 250 },
+        &cfg,
+    );
+    for w in &windows {
+        if w.result.total_inputs == 0 {
+            continue;
+        }
+        println!(
+            "  [{:>4}..{:>4}) ms: {:>6} inputs -> {:>8} matches",
+            w.window.start,
+            w.window.end(),
+            w.result.total_inputs,
+            w.result.matches
+        );
+    }
+
+    println!("\nsession windows (gap >= 300 ms closes a session):");
+    let sessions = execute_windowed(
+        Algorithm::MPass,
+        &clicks,
+        &purchases,
+        WindowSpec::Session { gap_ms: 300 },
+        &cfg,
+    );
+    for (i, w) in sessions.iter().enumerate() {
+        println!(
+            "  session {}: [{}..{}) ms, {} inputs, {} matches",
+            i + 1,
+            w.window.start,
+            w.window.end(),
+            w.result.total_inputs,
+            w.result.matches
+        );
+    }
+    assert_eq!(sessions.len(), 2, "the quiet gap must split the data into two sessions");
+}

@@ -1,0 +1,50 @@
+//! The DEBS 2016 scenario (§4.2.1): posts (R) joined with comments (S) on
+//! user id — both datasets at rest, i.e. a zero-length window with
+//! infinite arrival rate. For data at rest the paper finds the lazy,
+//! sort-based algorithms dominate (high key duplication per user); this
+//! example races all eight and checks the decision tree agrees.
+//!
+//! Run with: `cargo run --release --example social_forum_analytics`
+
+use iawj_study::core::decision::{recommend_default, Objective, Workload};
+use iawj_study::core::{execute, Algorithm, RunConfig};
+use iawj_study::datagen::debs;
+use iawj_study::datagen::stats::WorkloadStats;
+
+fn main() {
+    // 10% of the DEBS cardinalities: 10k posts, 100k comments, ~900 users.
+    let dataset = debs(0.1, 1);
+    let stats = WorkloadStats::measure(&dataset);
+    println!(
+        "posts: {} by {} users (dupe {:.0}); comments: {} (dupe {:.0})",
+        stats.r.count, stats.r.distinct_keys, stats.r.dupe_avg, stats.s.count, stats.s.dupe_avg
+    );
+
+    let cfg = RunConfig::with_threads(4);
+    let mut best: Option<(Algorithm, f64)> = None;
+    println!("\n{:<8} {:>12} {:>10}", "algo", "tpt (t/ms)", "matches");
+    for algo in Algorithm::STUDIED {
+        let result = execute(algo, &dataset, &cfg);
+        let tpt = result.throughput_tpms();
+        println!("{:<8} {:>12.0} {:>10}", algo.name(), tpt, result.matches);
+        if best.is_none_or(|(_, b)| tpt > b) {
+            best = Some((algo, tpt));
+        }
+    }
+    let (winner, tpt) = best.expect("eight runs");
+    println!("\nfastest: {winner} at {tpt:.0} tuples/ms");
+
+    let pick = recommend_default(
+        &Workload {
+            rate_r: dataset.rate_r,
+            rate_s: dataset.rate_s,
+            dupe: stats.s.dupe_avg,
+            skew_key: stats.s.skew_key_est,
+            total_tuples: dataset.total_inputs(),
+            cores: 8,
+        },
+        Objective::Throughput,
+    );
+    println!("decision tree picks: {pick} (a lazy sort-based algorithm)");
+    assert!(pick.is_lazy() && pick.is_sort_based());
+}

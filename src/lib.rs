@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # iawj-study
+//!
+//! A from-scratch Rust reproduction of *"Parallelizing Intra-Window Join on
+//! Multicores: An Experimental Study"* (Zhang et al., SIGMOD 2021).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! - [`common`] — tuples, windows, deterministic RNG/Zipf, hashing, sinks.
+//! - [`cachesim`] — the software cache-hierarchy simulator standing in for
+//!   hardware performance counters.
+//! - [`exec`] — parallel runtime and the shared kernels (radix partitioning,
+//!   sorting backends, merging, hash tables, merge-join).
+//! - [`datagen`] — the Micro synthetic workload plus Stock / Rovio / YSB /
+//!   DEBS real-world-equivalent generators.
+//! - [`core`] — the eight intra-window-join algorithms, the stream
+//!   distribution schemes, the event clock, metrics, and the Figure 4
+//!   decision tree.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory.
+//!
+//! ```
+//! use iawj_study::core::{execute, Algorithm, RunConfig};
+//! use iawj_study::datagen::MicroSpec;
+//!
+//! let dataset = MicroSpec::static_counts(500, 500).dupe(5).generate();
+//! let result = execute(Algorithm::MPass, &dataset, &RunConfig::with_threads(2));
+//! assert_eq!(result.matches, 100 * 5 * 5);
+//! ```
+
+pub use iawj_cachesim as cachesim;
+pub use iawj_common as common;
+pub use iawj_core as core;
+pub use iawj_datagen as datagen;
+pub use iawj_exec as exec;
+
+/// Crate version of the study facade.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,113 @@
+//! Integration of the Figure 4 decision tree with measured workload
+//! statistics, and qualitative checks of the cache-trace profiles against
+//! the paper's §5.3/§5.6 findings.
+
+use iawj_study::core::decision::{recommend_default, Objective, Workload};
+use iawj_study::core::{trace, Algorithm, RunConfig};
+use iawj_study::datagen::stats::WorkloadStats;
+use iawj_study::datagen::{debs, rovio, stock, ysb, MicroSpec};
+
+fn descriptor(ds: &iawj_study::datagen::Dataset, cores: usize) -> Workload {
+    let st = WorkloadStats::measure(ds);
+    Workload {
+        rate_r: ds.rate_r,
+        rate_s: ds.rate_s,
+        dupe: st.r.dupe_avg.max(st.s.dupe_avg),
+        skew_key: st.r.skew_key_est.max(st.s.skew_key_est),
+        total_tuples: ds.total_inputs(),
+        cores,
+    }
+}
+
+#[test]
+fn stock_gets_eager_recommendation() {
+    // Stock: both streams far below the low-rate threshold.
+    let ds = stock(1.0, 1);
+    let pick = recommend_default(&descriptor(&ds, 8), Objective::Latency);
+    assert_eq!(pick, Algorithm::ShjJm);
+}
+
+#[test]
+fn debs_gets_lazy_sort_recommendation() {
+    // DEBS: data at rest (infinite rate), massive duplication.
+    let ds = debs(0.05, 1);
+    let pick = recommend_default(&descriptor(&ds, 8), Objective::Throughput);
+    assert!(pick.is_lazy() && pick.is_sort_based(), "got {pick}");
+}
+
+#[test]
+fn rovio_full_scale_rates_get_lazy_sorts() {
+    // At paper scale Rovio streams 3000 t/ms with dupe ~18k.
+    let w = Workload {
+        rate_r: iawj_study::common::Rate::PerMs(3000.0),
+        rate_s: iawj_study::common::Rate::PerMs(3000.0),
+        dupe: 17960.0,
+        skew_key: 0.04,
+        total_tuples: 6_000_000,
+        cores: 8,
+    };
+    // Medium rate + high duplication -> PMJ^JB per the tree.
+    assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::PmjJb);
+}
+
+#[test]
+fn ysb_full_scale_gets_lazy_hash() {
+    let w = Workload {
+        rate_r: iawj_study::common::Rate::Infinite,
+        rate_s: iawj_study::common::Rate::PerMs(30000.0),
+        dupe: 1.0, // R's campaign keys are unique
+        skew_key: 0.03,
+        total_tuples: 10_000_000,
+        cores: 8,
+    };
+    let pick = recommend_default(&w, Objective::Throughput);
+    assert!(matches!(pick, Algorithm::Npj | Algorithm::Prj), "got {pick}");
+}
+
+#[test]
+fn trace_rovio_reproduces_section_5_6_orderings() {
+    let ds = rovio(0.002, 1);
+    let cfg = RunConfig::with_threads(4);
+    let npj = trace::profile(Algorithm::Npj, &ds, &cfg);
+    let mway = trace::profile(Algorithm::MWay, &ds, &cfg);
+    let shj = trace::profile(Algorithm::ShjJm, &ds, &cfg);
+    // "MWay and MPass show ... negligible Memory Bound; NPJ is more memory
+    // bound": L1D misses per tuple ordering NPJ >> MWay.
+    assert!(npj.per_tuple().l1d > mway.per_tuple().l1d * 2.0);
+    // "a high L3 cache miss issue is also observed in SHJ^JM": SHJ L3
+    // misses at least comparable to NPJ's order of magnitude.
+    assert!(shj.per_tuple().l1d > mway.per_tuple().l1d);
+}
+
+#[test]
+fn trace_ysb_partition_misses_highest_for_jb() {
+    use iawj_study::common::Phase;
+    let ds = ysb(0.002, 1);
+    let cfg = RunConfig::with_threads(4);
+    let jb = trace::profile(Algorithm::ShjJb, &ds, &cfg);
+    let jm = trace::profile(Algorithm::ShjJm, &ds, &cfg);
+    // §5.3.1: SHJ^JB / PMJ^JB have higher partition-phase misses (JB's
+    // content-sensitive routing + status log).
+    assert!(
+        jb.phase(Phase::Partition).l1d_misses >= jm.phase(Phase::Partition).l1d_misses,
+        "JB {} vs JM {}",
+        jb.phase(Phase::Partition).l1d_misses,
+        jm.phase(Phase::Partition).l1d_misses
+    );
+}
+
+#[test]
+fn eager_core_bound_exceeds_lazy() {
+    use iawj_study::cachesim::CostModel;
+    let ds = MicroSpec::static_counts(5000, 5000).dupe(10).seed(5).generate();
+    let cfg = RunConfig::with_threads(4);
+    let model = CostModel::default();
+    let lazy = trace::profile(Algorithm::MPass, &ds, &cfg).estimate(&model);
+    let eager = trace::profile(Algorithm::PmjJm, &ds, &cfg).estimate(&model);
+    let (_, lazy_core, _) = lazy.percentages();
+    let (_, eager_core, _) = eager.percentages();
+    assert!(
+        eager_core > lazy_core,
+        "eager core-bound {eager_core}% must exceed lazy {lazy_core}%"
+    );
+}

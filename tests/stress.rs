@@ -1,0 +1,41 @@
+//! Opt-in stress tests at larger-than-CI scales. Run with:
+//! `cargo test --release --test stress -- --ignored`
+
+use iawj_study::core::reference::match_count;
+use iawj_study::core::{execute, Algorithm, RunConfig};
+use iawj_study::datagen::{rovio, MicroSpec};
+
+#[test]
+#[ignore = "large input; run with --ignored in release mode"]
+fn million_tuple_static_join_all_algorithms() {
+    let ds = MicroSpec::static_counts(500_000, 500_000).dupe(20).seed(1).generate();
+    let expect = match_count(&ds.r, &ds.s, ds.window);
+    for algo in Algorithm::STUDIED {
+        let cfg = RunConfig::with_threads(4);
+        let result = execute(algo, &ds, &cfg);
+        assert_eq!(result.matches, expect, "{algo}");
+    }
+}
+
+#[test]
+#[ignore = "large input; run with --ignored in release mode"]
+fn rovio_at_five_percent_scale() {
+    // ~300k tuples with dupe ~900: tens of millions of matches.
+    let ds = rovio(0.05, 1);
+    let expect = match_count(&ds.r, &ds.s, ds.window);
+    for algo in [Algorithm::MPass, Algorithm::PmjJb, Algorithm::Npj] {
+        let cfg = RunConfig::with_threads(4).speedup(100.0);
+        let result = execute(algo, &ds, &cfg);
+        assert_eq!(result.matches, expect, "{algo}");
+    }
+}
+
+#[test]
+#[ignore = "long-running; exercises many mid-stream hybrid flushes"]
+fn hybrid_under_sustained_pressure() {
+    let ds = MicroSpec::static_counts(2_000_000, 2_000_000).dupe(4).seed(2).generate();
+    let expect = match_count(&ds.r, &ds.s, ds.window);
+    let cfg = RunConfig::with_threads(4);
+    let result = execute(Algorithm::HybridShj, &ds, &cfg);
+    assert_eq!(result.matches, expect);
+}
