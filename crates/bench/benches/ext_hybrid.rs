@@ -9,7 +9,10 @@ use iawj_core::Algorithm;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Extension — hybrid eager/lazy operator vs SHJ_JM and NPJ", &env);
+    banner(
+        "Extension — hybrid eager/lazy operator vs SHJ_JM and NPJ",
+        &env,
+    );
     for (label, rate, dupe) in [
         ("light load, unique keys", 1600.0, 1),
         ("heavy load, unique keys", 25600.0, 1),

@@ -9,7 +9,10 @@ const DUPES: [usize; 4] = [1, 10, 50, 100];
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 11 — key duplication sweep (v = 6400 t/ms, w = 1000 ms)", &env);
+    banner(
+        "Figure 11 — key duplication sweep (v = 6400 t/ms, w = 1000 ms)",
+        &env,
+    );
     let cfg = env.config();
     let mut tpt_rows = Vec::new();
     let mut lat_rows = Vec::new();

@@ -3,8 +3,8 @@
 //! eagerness). Static Micro, per-phase cycles per input tuple.
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_core::{execute, Algorithm};
 use iawj_common::{Phase, PHASES};
+use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
 use iawj_exec::NOMINAL_GHZ;
 
@@ -14,7 +14,10 @@ fn main() {
     let env = BenchEnv::from_env();
     banner("Figure 15 — PMJ sorting step size (static Micro)", &env);
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
-    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    let ds = MicroSpec::static_counts(n_r, n_r * 10)
+        .dupe(4)
+        .seed(42)
+        .generate();
     for eager_merge in [false, true] {
         println!(
             "\n({}) {}",
@@ -33,7 +36,12 @@ fn main() {
             let res = execute(Algorithm::PmjJm, &ds, &cfg);
             let per = 1.0 / res.total_inputs.max(1) as f64;
             let mut row = vec![format!("{:.0}%", delta * 100.0)];
-            for phase in [Phase::Partition, Phase::BuildSort, Phase::Merge, Phase::Probe] {
+            for phase in [
+                Phase::Partition,
+                Phase::BuildSort,
+                Phase::Merge,
+                Phase::Probe,
+            ] {
                 row.push(fmt(res.breakdown.cycles(phase, NOMINAL_GHZ) * per));
             }
             let total: f64 = PHASES
@@ -43,6 +51,9 @@ fn main() {
             row.push(fmt(total));
             rows.push(row);
         }
-        print_table(&["delta", "partition", "sort", "merge", "probe", "total"], &rows);
+        print_table(
+            &["delta", "partition", "sort", "merge", "probe", "total"],
+            &rows,
+        );
     }
 }

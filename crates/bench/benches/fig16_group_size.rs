@@ -9,9 +9,15 @@ use iawj_exec::NOMINAL_GHZ;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 16 — JB group size (static Micro); last row = JM reference", &env);
+    banner(
+        "Figure 16 — JB group size (static Micro); last row = JM reference",
+        &env,
+    );
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
-    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    let ds = MicroSpec::static_counts(n_r, n_r * 10)
+        .dupe(4)
+        .seed(42)
+        .generate();
     for (jb, jm, label) in [
         (Algorithm::PmjJb, Algorithm::PmjJm, "PMJ"),
         (Algorithm::ShjJb, Algorithm::ShjJm, "SHJ"),

@@ -2,16 +2,22 @@
 //! SHJ^JM — per-phase cycles per input tuple.
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_core::{execute, Algorithm};
 use iawj_common::Phase;
+use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
 use iawj_exec::NOMINAL_GHZ;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 17 — physical partitioning of SHJ^JM (static Micro)", &env);
+    banner(
+        "Figure 17 — physical partitioning of SHJ^JM (static Micro)",
+        &env,
+    );
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
-    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    let ds = MicroSpec::static_counts(n_r, n_r * 10)
+        .dupe(4)
+        .seed(42)
+        .generate();
     let mut rows = Vec::new();
     for physical in [true, false] {
         let mut cfg = env.config();
@@ -19,7 +25,12 @@ fn main() {
         let res = execute(Algorithm::ShjJm, &ds, &cfg);
         let per = 1.0 / res.total_inputs.max(1) as f64;
         rows.push(vec![
-            if physical { "w/ partition" } else { "w/o partition" }.to_string(),
+            if physical {
+                "w/ partition"
+            } else {
+                "w/o partition"
+            }
+            .to_string(),
             fmt(res.breakdown.cycles(Phase::Partition, NOMINAL_GHZ) * per),
             fmt(res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ) * per),
             fmt(res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ) * per),

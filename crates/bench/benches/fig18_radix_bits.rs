@@ -2,8 +2,8 @@
 //! probe-cost trade-off. Static Micro, cycles per input tuple.
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_core::{execute, Algorithm};
 use iawj_common::Phase;
+use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
 use iawj_exec::NOMINAL_GHZ;
 
@@ -13,7 +13,10 @@ fn main() {
     let env = BenchEnv::from_env();
     banner("Figure 18 — PRJ number of radix bits (static Micro)", &env);
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
-    let ds = MicroSpec::static_counts(n_r, n_r * 10).dupe(4).seed(42).generate();
+    let ds = MicroSpec::static_counts(n_r, n_r * 10)
+        .dupe(4)
+        .seed(42)
+        .generate();
     let mut rows = Vec::new();
     for &bits in &BITS {
         let mut cfg = env.config();

@@ -27,7 +27,10 @@ fn main() {
             fmt(memory),
         ]);
     }
-    print_table(&["algo", "retiring%", "core-bound%", "memory-bound%"], &rows);
+    print_table(
+        &["algo", "retiring%", "core-bound%", "memory-bound%"],
+        &rows,
+    );
 
     println!("\n(b) Memory consumption over time (peak bytes; sampled curve)");
     let mut rows = Vec::new();

@@ -10,7 +10,10 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 20 — multicore scalability (normalised throughput)", &env);
+    banner(
+        "Figure 20 — multicore scalability (normalised throughput)",
+        &env,
+    );
     for algo in [Algorithm::MPass, Algorithm::ShjJm] {
         println!("\n--- {} ---", algo.name());
         let mut rows = Vec::new();

@@ -3,18 +3,26 @@
 //! scalar one (the paper's with/without-AVX switch).
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_core::{execute, Algorithm};
 use iawj_common::Phase;
+use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
 use iawj_exec::{SortBackend, NOMINAL_GHZ};
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 21 — SIMD on/off for the sort-based algorithms (static Micro)", &env);
+    banner(
+        "Figure 21 — SIMD on/off for the sort-based algorithms (static Micro)",
+        &env,
+    );
     let n = (512_000.0 * env.scale * 10.0).max(20_000.0) as usize;
     let ds = MicroSpec::static_counts(n, n).dupe(4).seed(42).generate();
     let mut rows = Vec::new();
-    for algo in [Algorithm::MWay, Algorithm::MPass, Algorithm::PmjJm, Algorithm::PmjJb] {
+    for algo in [
+        Algorithm::MWay,
+        Algorithm::MPass,
+        Algorithm::PmjJm,
+        Algorithm::PmjJb,
+    ] {
         for backend in [SortBackend::Vectorized, SortBackend::Scalar] {
             let cfg = env.config().sort(backend);
             let res = execute(algo, &ds, &cfg);

@@ -7,7 +7,10 @@ use iawj_core::Algorithm;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 5 — throughput (tuples/ms) and 95th latency (ms), 4 workloads x 8 algorithms", &env);
+    banner(
+        "Figure 5 — throughput (tuples/ms) and 95th latency (ms), 4 workloads x 8 algorithms",
+        &env,
+    );
     let workloads = env.real_workloads();
     let cfg = env.config();
     let mut tpt_rows = Vec::new();

@@ -7,7 +7,10 @@ use iawj_core::Algorithm;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 6 — progressiveness (cumulative % matches over stream-ms)", &env);
+    banner(
+        "Figure 6 — progressiveness (cumulative % matches over stream-ms)",
+        &env,
+    );
     let cfg = env.config();
     for ds in env.real_workloads() {
         println!("\n--- {} ---", ds.name);

@@ -3,13 +3,16 @@
 //! reported as total cycles (summed over threads) per input tuple.
 
 use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
-use iawj_core::Algorithm;
 use iawj_common::PHASES;
+use iawj_core::Algorithm;
 use iawj_exec::NOMINAL_GHZ;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 7 — execution time breakdown (cycles per input tuple)", &env);
+    banner(
+        "Figure 7 — execution time breakdown (cycles per input tuple)",
+        &env,
+    );
     let cfg = env.config();
     for ds in env.real_workloads() {
         println!("\n--- {} ---", ds.name);
@@ -21,11 +24,22 @@ fn main() {
             for phase in PHASES {
                 row.push(fmt(res.breakdown.cycles(phase, NOMINAL_GHZ) * per_tuple));
             }
-            row.push(fmt(res.breakdown.total_ns() as f64 * NOMINAL_GHZ * per_tuple));
+            row.push(fmt(res.breakdown.total_ns() as f64
+                * NOMINAL_GHZ
+                * per_tuple));
             rows.push(row);
         }
         print_table(
-            &["algo", "wait", "partition", "build/sort", "merge", "probe", "others", "total"],
+            &[
+                "algo",
+                "wait",
+                "partition",
+                "build/sort",
+                "merge",
+                "probe",
+                "others",
+                "total",
+            ],
             &rows,
         );
     }

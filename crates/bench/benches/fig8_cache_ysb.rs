@@ -2,13 +2,16 @@
 //! tuple during the partition and probe phases, from the cache simulator.
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_core::{trace, Algorithm};
 use iawj_common::Phase;
+use iawj_core::{trace, Algorithm};
 use iawj_datagen::ysb;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 8 — simulated cache misses per input tuple, YSB", &env);
+    banner(
+        "Figure 8 — simulated cache misses per input tuple, YSB",
+        &env,
+    );
     // The trace replays every access; keep the dataset modest.
     let ds = ysb((env.scale * 0.5).min(0.02), 42);
     let cfg = env.config();
@@ -17,7 +20,11 @@ fn main() {
         println!("(next-line stream prefetcher: ON)");
     }
     for phase in [Phase::Partition, Phase::Probe] {
-        println!("\n({}) {} phase", if phase == Phase::Partition { "a" } else { "b" }, phase);
+        println!(
+            "\n({}) {} phase",
+            if phase == Phase::Partition { "a" } else { "b" },
+            phase
+        );
         let mut rows = Vec::new();
         for algo in Algorithm::STUDIED {
             let p = trace::profile_with(algo, &ds, &cfg, prefetch);

@@ -9,7 +9,10 @@ const RATES: [f64; 5] = [1600.0, 3200.0, 6400.0, 12800.0, 25600.0];
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Figure 9 — varying arrival rate v (unique keys, uniform arrivals)", &env);
+    banner(
+        "Figure 9 — varying arrival rate v (unique keys, uniform arrivals)",
+        &env,
+    );
     let cfg = env.config();
     let mut tpt_rows = Vec::new();
     let mut lat_rows = Vec::new();

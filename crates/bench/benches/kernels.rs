@@ -15,7 +15,9 @@ const N: usize = 1 << 16;
 
 fn tuples(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
     let mut rng = Rng::new(seed);
-    (0..n).map(|i| Tuple::new(rng.next_u32() % keys, i as u32)).collect()
+    (0..n)
+        .map(|i| Tuple::new(rng.next_u32() % keys, i as u32))
+        .collect()
 }
 
 fn bench_hashtables(c: &mut Criterion) {

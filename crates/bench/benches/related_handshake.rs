@@ -7,7 +7,10 @@ use iawj_core::Algorithm;
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Related work — handshake join vs the studied algorithms", &env);
+    banner(
+        "Related work — handshake join vs the studied algorithms",
+        &env,
+    );
     // Modest static input: handshake is extremely slow by design.
     let ds = iawj_datagen::MicroSpec::static_counts(20_000, 20_000)
         .dupe(4)

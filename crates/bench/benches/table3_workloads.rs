@@ -7,7 +7,10 @@ use iawj_datagen::stats::{arrival_histogram, WorkloadStats};
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner("Table 3 — workload statistics (measured from generated data)", &env);
+    banner(
+        "Table 3 — workload statistics (measured from generated data)",
+        &env,
+    );
     let workloads = env.real_workloads();
     let mut rows = Vec::new();
     for ds in &workloads {
@@ -28,21 +31,29 @@ fn main() {
     }
     print_table(
         &[
-            "workload", "v_R", "v_S", "dupe(R)", "dupe(S)", "skewK(R)", "skewK(S)",
-            "skewT(R)", "skewT(S)", "|R|", "|S|",
+            "workload", "v_R", "v_S", "dupe(R)", "dupe(S)", "skewK(R)", "skewK(S)", "skewT(R)",
+            "skewT(S)", "|R|", "|S|",
         ],
         &rows,
     );
 
     println!("\nFigure 3 — arrival-time distribution (tuples per 100 ms bucket)");
-    for ds in workloads.iter().filter(|d| d.name == "Stock" || d.name == "Rovio") {
+    for ds in workloads
+        .iter()
+        .filter(|d| d.name == "Stock" || d.name == "Rovio")
+    {
         for (label, stream) in [("R", &ds.r), ("S", &ds.s)] {
             let hist = arrival_histogram(stream, 1000);
             let buckets: Vec<String> = hist
                 .chunks(100)
                 .map(|c| c.iter().sum::<usize>().to_string())
                 .collect();
-            println!("{:>6} {label}  [{}]  peak/ms={}", ds.name, buckets.join(" "), hist.iter().max().unwrap_or(&0));
+            println!(
+                "{:>6} {label}  [{}]  peak/ms={}",
+                ds.name,
+                buckets.join(" "),
+                hist.iter().max().unwrap_or(&0)
+            );
         }
     }
 }

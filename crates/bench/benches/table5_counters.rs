@@ -26,5 +26,14 @@ fn main() {
             fmt(p.l3),
         ]);
     }
-    print_table(&["algo", "TLBD miss/t", "L1D miss/t", "L2 miss/t", "L3 miss/t"], &rows);
+    print_table(
+        &[
+            "algo",
+            "TLBD miss/t",
+            "L1D miss/t",
+            "L2 miss/t",
+            "L3 miss/t",
+        ],
+        &rows,
+    );
 }

@@ -37,17 +37,25 @@ pub struct BenchEnv {
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl BenchEnv {
     /// Read `IAWJ_SCALE` / `IAWJ_SPEEDUP` / `IAWJ_THREADS`.
     pub fn from_env() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         BenchEnv {
             scale: env_f64("IAWJ_SCALE", 0.01),
             speedup: env_f64("IAWJ_SPEEDUP", 25.0),
@@ -226,7 +234,11 @@ mod tests {
         let dir = std::env::temp_dir().join("iawj_csv_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         std::env::set_var("IAWJ_CSV_DIR", &dir);
-        let env = BenchEnv { scale: 0.01, speedup: 25.0, threads: 2 };
+        let env = BenchEnv {
+            scale: 0.01,
+            speedup: 25.0,
+            threads: 2,
+        };
         banner("Figure 99 — csv export test", &env);
         print_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         std::env::remove_var("IAWJ_CSV_DIR");
@@ -238,7 +250,11 @@ mod tests {
 
     #[test]
     fn workloads_generate_at_small_scale() {
-        let env = BenchEnv { scale: 0.005, speedup: 50.0, threads: 2 };
+        let env = BenchEnv {
+            scale: 0.005,
+            speedup: 50.0,
+            threads: 2,
+        };
         let ws = env.real_workloads();
         let names: Vec<&str> = ws.iter().map(|d| d.name.as_str()).collect();
         assert_eq!(names, ["Stock", "Rovio", "YSB", "DEBS"]);

@@ -19,7 +19,10 @@ impl CacheConfig {
     /// two and the capacity divides evenly — the same constraints real
     /// hardware has.
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
         assert_eq!(
@@ -28,18 +31,29 @@ impl CacheConfig {
             "capacity must be a whole number of lines"
         );
         let sets = lines / self.ways;
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         sets
     }
 
     /// 32 KiB / 8-way L1D of the Xeon Gold 6126.
     pub const fn l1d_gold6126() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
     }
 
     /// 1 MiB / 16-way per-core L2 of the Xeon Gold 6126.
     pub const fn l2_gold6126() -> Self {
-        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 64, ways: 16 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// Shared L3 of the Xeon Gold 6126. The real part has 19.25 MiB / 11-way;
@@ -47,13 +61,21 @@ impl CacheConfig {
     /// within 20% of the real capacity, which is well inside the noise the
     /// study's qualitative conclusions tolerate.
     pub const fn l3_gold6126() -> Self {
-        CacheConfig { size_bytes: 16 * 1024 * 1024, line_bytes: 64, ways: 16 }
+        CacheConfig {
+            size_bytes: 16 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// 64-entry, 4-way data TLB over 4 KiB pages, modelled as a cache whose
     /// "lines" are pages.
     pub const fn dtlb() -> Self {
-        CacheConfig { size_bytes: 64 * 4096, line_bytes: 4096, ways: 4 }
+        CacheConfig {
+            size_bytes: 64 * 4096,
+            line_bytes: 4096,
+            ways: 4,
+        }
     }
 }
 
@@ -142,7 +164,11 @@ mod tests {
 
     fn tiny() -> CacheLevel {
         // 4 sets × 2 ways × 64-byte lines = 512 bytes.
-        CacheLevel::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        CacheLevel::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -189,7 +215,11 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_never_misses_after_warmup() {
-        let cfg = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 };
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        };
         let mut c = CacheLevel::new(cfg);
         let lines: Vec<u64> = (0..64).map(|i| i * 64).collect();
         for &l in &lines {
@@ -207,7 +237,11 @@ mod tests {
 
     #[test]
     fn streaming_over_capacity_always_misses() {
-        let cfg = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 };
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        };
         let mut c = CacheLevel::new(cfg);
         // 128 lines > 64-line capacity, round-robin: pure capacity misses.
         for round in 0..4 {

@@ -96,7 +96,13 @@ mod tests {
     use super::*;
 
     fn counters(accesses: u64, l1: u64, l2: u64, l3: u64, tlb: u64) -> Counters {
-        Counters { accesses, l1d_misses: l1, l2_misses: l2, l3_misses: l3, dtlb_misses: tlb }
+        Counters {
+            accesses,
+            l1d_misses: l1,
+            l2_misses: l2,
+            l3_misses: l3,
+            dtlb_misses: tlb,
+        }
     }
 
     #[test]

@@ -90,7 +90,12 @@ impl CoreCaches {
     }
 
     /// A core with custom private geometries (tests, sensitivity studies).
-    pub fn with_configs(l1d: CacheConfig, l2: CacheConfig, dtlb: CacheConfig, l3: SharedL3) -> Self {
+    pub fn with_configs(
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        dtlb: CacheConfig,
+        l3: SharedL3,
+    ) -> Self {
         CoreCaches {
             l1d: CacheLevel::new(l1d),
             l2: CacheLevel::new(l2),
@@ -296,8 +301,20 @@ mod tests {
 
     #[test]
     fn counters_delta_and_merge() {
-        let a = Counters { accesses: 10, l1d_misses: 5, l2_misses: 3, l3_misses: 1, dtlb_misses: 2 };
-        let b = Counters { accesses: 4, l1d_misses: 2, l2_misses: 1, l3_misses: 0, dtlb_misses: 1 };
+        let a = Counters {
+            accesses: 10,
+            l1d_misses: 5,
+            l2_misses: 3,
+            l3_misses: 1,
+            dtlb_misses: 2,
+        };
+        let b = Counters {
+            accesses: 4,
+            l1d_misses: 2,
+            l2_misses: 1,
+            l3_misses: 0,
+            dtlb_misses: 1,
+        };
         let d = a.since(&b);
         assert_eq!(d.accesses, 6);
         assert_eq!(d.l1d_misses, 3);

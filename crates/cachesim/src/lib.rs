@@ -23,5 +23,5 @@ pub mod tracer;
 
 pub use cache::{CacheConfig, CacheLevel};
 pub use cost::{CostModel, CycleEstimate};
-pub use hierarchy::{Counters, CoreCaches, Hierarchy, SharedL3};
+pub use hierarchy::{CoreCaches, Counters, Hierarchy, SharedL3};
 pub use tracer::{NoopTracer, Tracer};

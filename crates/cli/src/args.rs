@@ -39,7 +39,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::Duplicate(k) => write!(f, "option --{k} given twice"),
             ArgError::Unexpected(v) => write!(f, "unexpected argument '{v}'"),
-            ArgError::Invalid { key, value, expected } => {
+            ArgError::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value}: expected {expected}")
             }
             ArgError::Missing(k) => write!(f, "missing required option --{k}"),
@@ -51,7 +55,14 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Options that take no value.
-const FLAG_NAMES: &[&str] = &["static", "json", "calibrate", "scalar-sort", "eager-merge", "help"];
+const FLAG_NAMES: &[&str] = &[
+    "static",
+    "json",
+    "calibrate",
+    "scalar-sort",
+    "eager-merge",
+    "help",
+];
 
 impl Args {
     /// Parse everything after the subcommand.
@@ -186,8 +197,14 @@ mod tests {
         let a = Args::parse(&toks("--rate-r 61.5 --values 1,2,3")).unwrap();
         assert_eq!(a.get_or("rate-r", 0.0f64).unwrap(), 61.5);
         assert_eq!(a.list::<u32>("values").unwrap(), vec![1, 2, 3]);
-        assert_eq!(a.require::<f64>("absent").unwrap_err(), ArgError::Missing("absent"));
-        assert!(a.get_or::<usize>("rate-r", 0).is_err(), "61.5 is not a usize");
+        assert_eq!(
+            a.require::<f64>("absent").unwrap_err(),
+            ArgError::Missing("absent")
+        );
+        assert!(
+            a.get_or::<usize>("rate-r", 0).is_err(),
+            "61.5 is not a usize"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use args::{ArgError, Args};
 use iawj_core::adaptive::sniff;
 use iawj_core::decision::{calibrate, recommend, Objective, Thresholds};
 use iawj_core::{execute, trace};
-use summary::RunSummary;
+use summary::{metrics_jsonl, RunSummary};
 use workload::{build_config, build_dataset, parse_algorithm, RUN_OPTS, WORKLOAD_OPTS};
 
 /// Top-level usage text.
@@ -51,6 +51,8 @@ RUN OPTIONS (run, sweep, trace):
   --group-size N     JB group size (default 2)
   --scalar-sort      disable the vectorizable sort backend
   --json             machine-readable output
+  --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker)
+  --metrics-out FILE write a JSONL metrics journal (histogram, phases)
 
 RECOMMEND OPTIONS:
   --objective throughput|latency|progressiveness   (default throughput)
@@ -93,7 +95,9 @@ fn allowed(extra: &[&str]) -> Vec<&'static str> {
     v.push("algo");
     // Leak is fine: a handful of static strings per process.
     v.extend_from_slice(extra);
-    v.iter().map(|s| -> &'static str { Box::leak(s.to_string().into_boxed_str()) }).collect()
+    v.iter()
+        .map(|s| -> &'static str { Box::leak(s.to_string().into_boxed_str()) })
+        .collect()
 }
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
@@ -103,7 +107,23 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     let cfg = build_config(args)?;
     let result = execute(algo, &ds, &cfg);
     let summary = RunSummary::from_result(&result);
-    Ok(if args.flag("json") { summary.to_json() } else { summary.to_text() })
+    let save = |key: &'static str, content: String| -> Result<(), ArgError> {
+        if let Some(path) = args.get(key) {
+            std::fs::write(path, content).map_err(|e| ArgError::Invalid {
+                key: key.into(),
+                value: format!("{path}: {e}"),
+                expected: "a writable path",
+            })?;
+        }
+        Ok(())
+    };
+    save("trace-out", result.chrome_trace())?;
+    save("metrics-out", metrics_jsonl(&summary, &result))?;
+    Ok(if args.flag("json") {
+        summary.to_json()
+    } else {
+        summary.to_text()
+    })
 }
 
 fn cmd_recommend(args: &Args) -> Result<String, ArgError> {
@@ -122,7 +142,11 @@ fn cmd_recommend(args: &Args) -> Result<String, ArgError> {
             })
         }
     };
-    let thresholds = if args.flag("calibrate") { calibrate(cores) } else { Thresholds::default() };
+    let thresholds = if args.flag("calibrate") {
+        calibrate(cores)
+    } else {
+        Thresholds::default()
+    };
     let descriptor = sniff(&ds, 0.05, cores);
     let pick = recommend(&descriptor, objective, &thresholds);
     Ok(format!(
@@ -145,7 +169,10 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let param: String = args.require("param")?;
     let values: Vec<f64> = args.list("values")?;
     let cfg = build_config(args)?;
-    let mut out = format!("{:>10}  {:>12}  {:>12}  {:>10}\n", param, "tpt (t/ms)", "p95 (ms)", "matches");
+    let mut out = format!(
+        "{:>10}  {:>12}  {:>12}  {:>10}\n",
+        param, "tpt (t/ms)", "p95 (ms)", "matches"
+    );
     for &v in &values {
         // Rebuild the workload with the swept parameter overridden.
         let ds = build_dataset_with_override(args, &param, v)?;
@@ -184,11 +211,27 @@ fn build_dataset_with_override(
         seed: args.get_or("seed", 42)?,
     };
     let spec = match param {
-        "rate" => MicroSpec { rate_r: value, rate_s: value, ..base },
-        "dupe" => MicroSpec { dupe: (value as usize).max(1), ..base },
-        "skew-key" => MicroSpec { skew_key: value, ..base },
-        "skew-ts" => MicroSpec { skew_ts: value, ..base },
-        "window" => MicroSpec { window_ms: value as u32, ..base },
+        "rate" => MicroSpec {
+            rate_r: value,
+            rate_s: value,
+            ..base
+        },
+        "dupe" => MicroSpec {
+            dupe: (value as usize).max(1),
+            ..base
+        },
+        "skew-key" => MicroSpec {
+            skew_key: value,
+            ..base
+        },
+        "skew-ts" => MicroSpec {
+            skew_ts: value,
+            ..base
+        },
+        "window" => MicroSpec {
+            window_ms: value as u32,
+            ..base
+        },
         other => {
             return Err(ArgError::Invalid {
                 key: "param".into(),
@@ -276,8 +319,18 @@ mod tests {
     #[test]
     fn run_text_output() {
         let out = run_cli_str(&[
-            "run", "--algo", "NPJ", "--static", "--count-r", "500", "--count-s", "500",
-            "--dupe", "5", "--threads", "2",
+            "run",
+            "--algo",
+            "NPJ",
+            "--static",
+            "--count-r",
+            "500",
+            "--count-s",
+            "500",
+            "--dupe",
+            "5",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("algorithm:     NPJ"), "{out}");
@@ -287,25 +340,99 @@ mod tests {
     #[test]
     fn run_json_output() {
         let out = run_cli_str(&[
-            "run", "--algo", "PMJ_JB", "--static", "--count-r", "300", "--count-s", "300",
-            "--json", "--threads", "2",
+            "run",
+            "--algo",
+            "PMJ_JB",
+            "--static",
+            "--count-r",
+            "300",
+            "--count-s",
+            "300",
+            "--json",
+            "--threads",
+            "2",
         ])
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(v["algorithm"], "PMJ_JB");
+        let v = iawj_obs::json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("algorithm").and_then(|a| a.as_str()), Some("PMJ_JB"));
+    }
+
+    #[test]
+    fn run_writes_trace_and_metrics_files() {
+        use iawj_obs::json::Json;
+        let dir = std::env::temp_dir().join("iawj_cli_obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let metrics = dir.join("m.jsonl");
+        run_cli_str(&[
+            "run",
+            "--algo",
+            "PRJ",
+            "--static",
+            "--count-r",
+            "2000",
+            "--count-s",
+            "2000",
+            "--dupe",
+            "4",
+            "--threads",
+            "4",
+            "--sample-every",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The trace parses and has one named lane per worker.
+        let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let lanes: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(lanes.len(), 4, "one lane per worker");
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+        // The metrics journal parses line by line and carries a histogram.
+        let jsonl = std::fs::read_to_string(&metrics).unwrap();
+        let hist_line = jsonl
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("histogram"))
+            .expect("histogram line present");
+        assert!(hist_line.get("count").and_then(Json::as_u64).unwrap() > 0);
+        std::fs::remove_file(trace).unwrap();
+        std::fs::remove_file(metrics).unwrap();
     }
 
     #[test]
     fn recommend_paths() {
         let out = run_cli_str(&[
-            "recommend", "--static", "--count-r", "2000", "--count-s", "2000", "--dupe", "50",
+            "recommend",
+            "--static",
+            "--count-r",
+            "2000",
+            "--count-s",
+            "2000",
+            "--dupe",
+            "50",
         ])
         .unwrap();
         assert!(out.contains("recommendation"), "{out}");
         assert!(out.contains("MPASS") || out.contains("MWAY"), "{out}");
         let out = run_cli_str(&[
-            "recommend", "--rate-r", "5", "--rate-s", "5", "--window", "100",
-            "--objective", "latency",
+            "recommend",
+            "--rate-r",
+            "5",
+            "--rate-s",
+            "5",
+            "--window",
+            "100",
+            "--objective",
+            "latency",
         ])
         .unwrap();
         assert!(out.contains("SHJ_JM"), "{out}");
@@ -314,8 +441,22 @@ mod tests {
     #[test]
     fn sweep_prints_one_row_per_value() {
         let out = run_cli_str(&[
-            "sweep", "--algo", "NPJ", "--param", "dupe", "--values", "1,5", "--static",
-            "--rate-r", "3", "--rate-s", "3", "--window", "100", "--threads", "2",
+            "sweep",
+            "--algo",
+            "NPJ",
+            "--param",
+            "dupe",
+            "--values",
+            "1,5",
+            "--static",
+            "--rate-r",
+            "3",
+            "--rate-s",
+            "3",
+            "--window",
+            "100",
+            "--threads",
+            "2",
         ])
         .unwrap();
         let rows: Vec<&str> = out.lines().collect();
@@ -325,8 +466,16 @@ mod tests {
     #[test]
     fn trace_reports_counters() {
         let out = run_cli_str(&[
-            "trace", "--algo", "SHJ_JM", "--static", "--count-r", "2000", "--count-s", "2000",
-            "--threads", "2",
+            "trace",
+            "--algo",
+            "SHJ_JM",
+            "--static",
+            "--count-r",
+            "2000",
+            "--count-s",
+            "2000",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("misses per tuple"), "{out}");
@@ -340,17 +489,37 @@ mod tests {
         let pr = dir.join("r.csv");
         let ps = dir.join("s.csv");
         let out = run_cli_str(&[
-            "generate", "--static", "--count-r", "200", "--count-s", "200", "--dupe", "4",
-            "--out-r", pr.to_str().unwrap(), "--out-s", ps.to_str().unwrap(),
+            "generate",
+            "--static",
+            "--count-r",
+            "200",
+            "--count-s",
+            "200",
+            "--dupe",
+            "4",
+            "--out-r",
+            pr.to_str().unwrap(),
+            "--out-s",
+            ps.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("wrote 200 tuples"), "{out}");
         let out = run_cli_str(&[
-            "run", "--algo", "MWAY", "--threads", "2",
-            "--input-r", pr.to_str().unwrap(), "--input-s", ps.to_str().unwrap(),
+            "run",
+            "--algo",
+            "MWAY",
+            "--threads",
+            "2",
+            "--input-r",
+            pr.to_str().unwrap(),
+            "--input-s",
+            ps.to_str().unwrap(),
         ])
         .unwrap();
-        assert!(out.contains("matches:       800"), "4 dupes each side over 50 keys: {out}");
+        assert!(
+            out.contains("matches:       800"),
+            "4 dupes each side over 50 keys: {out}"
+        );
         std::fs::remove_file(pr).unwrap();
         std::fs::remove_file(ps).unwrap();
     }

@@ -1,12 +1,18 @@
-//! Serializable run summaries — the CLI's JSON interface for plotting
-//! pipelines and scripts.
+//! Run summaries — the CLI's JSON and text interface for plotting
+//! pipelines and scripts. JSON is written by hand through
+//! [`iawj_obs::json`] so the workspace stays dependency-free.
 
-use iawj_core::metrics::{latency_quantile_ms, progressiveness, thin_curve};
+use iawj_common::PHASES;
+use iawj_core::metrics::{
+    latency_max_ms, latency_quantile_exact_ms, latency_quantile_ms, progressiveness, thin_curve,
+};
 use iawj_core::RunResult;
-use serde::Serialize;
+use iawj_exec::{ns_to_cycles, NOMINAL_GHZ};
+use iawj_obs::json::{array, quote, write_f64};
+use iawj_obs::{breakdown_table, PhaseRow};
 
 /// The metrics of one run, flattened for JSON output.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct RunSummary {
     /// Algorithm name.
     pub algorithm: String,
@@ -18,10 +24,16 @@ pub struct RunSummary {
     pub matches: u64,
     /// Throughput in tuples per stream-ms.
     pub throughput_tpms: f64,
-    /// 95th-percentile latency in stream-ms (absent when no matches).
+    /// 95th-percentile latency in stream-ms over the sampled matches
+    /// (absent when no matches).
     pub latency_p95_ms: Option<f64>,
-    /// Median latency in stream-ms.
+    /// Median latency in stream-ms over the sampled matches.
     pub latency_p50_ms: Option<f64>,
+    /// 99th-percentile latency from the full-population histogram —
+    /// covers every match, not just the sampled subset.
+    pub latency_p99_ms: Option<f64>,
+    /// Exact worst-case latency from the histogram.
+    pub latency_max_ms: Option<f64>,
     /// Stream time of the last match.
     pub last_emit_ms: f64,
     /// Total elapsed stream time.
@@ -31,6 +43,13 @@ pub struct RunSummary {
     /// Per-phase share of total time, `[wait, partition, build_sort,
     /// merge, probe, other]`, each 0..1.
     pub phase_fractions: [f64; 6],
+    /// Per-phase nanoseconds summed over workers, same order.
+    pub phase_ns: [u64; 6],
+    /// Per-phase cycles at the paper's 2.6 GHz nominal clock, same order.
+    pub phase_cycles: [f64; 6],
+    /// Per-phase `(min, max)` nanoseconds across workers (skew columns of
+    /// the breakdown table).
+    pub phase_minmax_ns: [(u64, u64); 6],
     /// Progressiveness curve thinned to at most 32 `(stream_ms, fraction)`
     /// points.
     pub progress: Vec<(f64, f64)>,
@@ -39,13 +58,22 @@ pub struct RunSummary {
 impl RunSummary {
     /// Summarise a run result.
     pub fn from_result(r: &RunResult) -> Self {
-        let phase_fractions = {
-            let mut f = [0.0; 6];
-            for (i, p) in iawj_common::PHASES.iter().enumerate() {
-                f[i] = r.breakdown.fraction(*p);
+        let mut phase_fractions = [0.0; 6];
+        let mut phase_ns = [0u64; 6];
+        let mut phase_cycles = [0.0; 6];
+        let mut phase_minmax_ns = [(0u64, 0u64); 6];
+        for (i, p) in PHASES.iter().enumerate() {
+            phase_fractions[i] = r.breakdown.fraction(*p);
+            phase_ns[i] = r.breakdown[*p];
+            phase_cycles[i] = ns_to_cycles(phase_ns[i]);
+            if !r.per_thread.is_empty() {
+                let per: Vec<u64> = r.per_thread.iter().map(|b| b[*p]).collect();
+                phase_minmax_ns[i] = (
+                    *per.iter().min().expect("non-empty"),
+                    *per.iter().max().expect("non-empty"),
+                );
             }
-            f
-        };
+        }
         RunSummary {
             algorithm: r.algorithm.name().to_string(),
             threads: r.threads,
@@ -54,17 +82,87 @@ impl RunSummary {
             throughput_tpms: r.throughput_tpms(),
             latency_p95_ms: latency_quantile_ms(r, 0.95),
             latency_p50_ms: latency_quantile_ms(r, 0.50),
+            latency_p99_ms: latency_quantile_exact_ms(r, 0.99),
+            latency_max_ms: latency_max_ms(r),
             last_emit_ms: r.last_emit_ms,
             elapsed_ms: r.elapsed_ms,
             cpu_utilisation: r.cpu_utilisation(),
             phase_fractions,
+            phase_ns,
+            phase_cycles,
+            phase_minmax_ns,
             progress: thin_curve(&progressiveness(r), 32),
         }
     }
 
     /// Render as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary is always serializable")
+        fn num(v: f64) -> String {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            s
+        }
+        fn opt(v: Option<f64>) -> String {
+            v.map(num).unwrap_or_else(|| "null".into())
+        }
+        fn field(out: &mut String, key: &str, val: String) {
+            out.push_str("  ");
+            out.push_str(&quote(key));
+            out.push_str(": ");
+            out.push_str(&val);
+            out.push_str(",\n");
+        }
+        let mut out = String::from("{\n");
+        field(&mut out, "algorithm", quote(&self.algorithm));
+        field(&mut out, "threads", self.threads.to_string());
+        field(&mut out, "total_inputs", self.total_inputs.to_string());
+        field(&mut out, "matches", self.matches.to_string());
+        field(&mut out, "throughput_tpms", num(self.throughput_tpms));
+        field(&mut out, "latency_p50_ms", opt(self.latency_p50_ms));
+        field(&mut out, "latency_p95_ms", opt(self.latency_p95_ms));
+        field(&mut out, "latency_p99_ms", opt(self.latency_p99_ms));
+        field(&mut out, "latency_max_ms", opt(self.latency_max_ms));
+        field(&mut out, "last_emit_ms", num(self.last_emit_ms));
+        field(&mut out, "elapsed_ms", num(self.elapsed_ms));
+        field(&mut out, "cpu_utilisation", num(self.cpu_utilisation));
+        field(
+            &mut out,
+            "phase_fractions",
+            array(self.phase_fractions.iter().map(|&f| num(f))),
+        );
+        field(
+            &mut out,
+            "phase_ns",
+            array(self.phase_ns.iter().map(|n| n.to_string())),
+        );
+        field(
+            &mut out,
+            "phase_cycles",
+            array(self.phase_cycles.iter().map(|&c| num(c))),
+        );
+        field(
+            &mut out,
+            "progress",
+            array(self.progress.iter().map(|&(t, f)| array([num(t), num(f)]))),
+        );
+        // Drop the trailing comma before closing the object.
+        out.truncate(out.trim_end_matches([',', '\n']).len());
+        out.push_str("\n}");
+        out
+    }
+
+    /// The six phases as table rows for [`breakdown_table`].
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        PHASES
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PhaseRow {
+                label: p.label(),
+                total_ns: self.phase_ns[i],
+                min_ns: self.phase_minmax_ns[i].0,
+                max_ns: self.phase_minmax_ns[i].1,
+            })
+            .collect()
     }
 
     /// Render as aligned human-readable text.
@@ -84,9 +182,23 @@ impl RunSummary {
                 let _ = writeln!(out, "latency p95:   - (no matches)");
             }
         }
-        let _ = writeln!(out, "elapsed:       {:.1} ms (stream time)", self.elapsed_ms);
+        if let (Some(p99), Some(max)) = (self.latency_p99_ms, self.latency_max_ms) {
+            let _ = writeln!(out, "latency p99:   {p99:.2} ms (exact)  max: {max:.2} ms");
+        }
+        let _ = writeln!(
+            out,
+            "elapsed:       {:.1} ms (stream time)",
+            self.elapsed_ms
+        );
         let _ = writeln!(out, "cpu util:      {:.1}%", self.cpu_utilisation * 100.0);
-        let labels = ["wait", "partition", "build/sort", "merge", "probe", "others"];
+        let labels = [
+            "wait",
+            "partition",
+            "build/sort",
+            "merge",
+            "probe",
+            "others",
+        ];
         let shares: Vec<String> = labels
             .iter()
             .zip(self.phase_fractions.iter())
@@ -94,15 +206,68 @@ impl RunSummary {
             .map(|(l, f)| format!("{l} {:.1}%", f * 100.0))
             .collect();
         let _ = writeln!(out, "phases:        {}", shares.join(", "));
-        if let Some(&(t, _)) = self
-            .progress
-            .iter()
-            .find(|&&(_, frac)| frac >= 0.5)
-        {
+        if let Some(&(t, _)) = self.progress.iter().find(|&&(_, frac)| frac >= 0.5) {
             let _ = writeln!(out, "50% matches:   by {t:.1} ms");
         }
+        let _ = writeln!(out, "breakdown:");
+        out.push_str(&breakdown_table(&self.phase_rows(), NOMINAL_GHZ));
         out
     }
+}
+
+/// Render a run as a JSONL metrics journal (`--metrics-out`): one
+/// `summary` line, one `histogram` line with full-population latency
+/// quantiles, one `phase` line per phase, and one `journal` line per
+/// journaled worker.
+pub fn metrics_jsonl(summary: &RunSummary, r: &RunResult) -> String {
+    fn num(v: f64) -> String {
+        let mut s = String::new();
+        write_f64(&mut s, v);
+        s
+    }
+    fn opt(v: Option<f64>) -> String {
+        v.map(num).unwrap_or_else(|| "null".into())
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"summary\",\"algorithm\":{},\"threads\":{},\"total_inputs\":{},\
+         \"matches\":{},\"throughput_tpms\":{},\"elapsed_ms\":{},\"cpu_utilisation\":{}}}\n",
+        quote(&summary.algorithm),
+        summary.threads,
+        summary.total_inputs,
+        summary.matches,
+        num(summary.throughput_tpms),
+        num(summary.elapsed_ms),
+        num(summary.cpu_utilisation),
+    ));
+    out.push_str(&format!(
+        "{{\"type\":\"histogram\",\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\
+         \"p99_ms\":{},\"max_ms\":{}}}\n",
+        r.hist.count(),
+        opt(r.hist.quantile_ms(0.50)),
+        opt(r.hist.quantile_ms(0.95)),
+        opt(r.hist.quantile_ms(0.99)),
+        opt(r.hist.max_ms()),
+    ));
+    for row in summary.phase_rows() {
+        out.push_str(&format!(
+            "{{\"type\":\"phase\",\"label\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}\n",
+            quote(row.label),
+            row.total_ns,
+            row.min_ns,
+            row.max_ns,
+        ));
+    }
+    for (wid, j) in &r.journals {
+        out.push_str(&format!(
+            "{{\"type\":\"journal\",\"worker\":{},\"spans\":{},\"marks\":{},\"dropped\":{}}}\n",
+            wid,
+            j.span_count(),
+            j.mark_count(),
+            j.dropped(),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -110,9 +275,13 @@ mod tests {
     use super::*;
     use iawj_core::{execute, Algorithm, RunConfig};
     use iawj_datagen::MicroSpec;
+    use iawj_obs::json::Json;
 
     fn sample_summary() -> RunSummary {
-        let ds = MicroSpec::static_counts(500, 500).dupe(5).seed(1).generate();
+        let ds = MicroSpec::static_counts(500, 500)
+            .dupe(5)
+            .seed(1)
+            .generate();
         let result = execute(Algorithm::Npj, &ds, &RunConfig::with_threads(2));
         RunSummary::from_result(&result)
     }
@@ -122,20 +291,83 @@ mod tests {
         let s = sample_summary();
         assert_eq!(s.algorithm, "NPJ");
         assert_eq!(s.total_inputs, 1000);
-        assert_eq!(s.matches, 2500, "500 tuples over 100 keys x 5 dupes each side");
+        assert_eq!(
+            s.matches, 2500,
+            "500 tuples over 100 keys x 5 dupes each side"
+        );
         assert!(s.throughput_tpms > 0.0);
         let total: f64 = s.phase_fractions.iter().sum();
-        assert!((total - 1.0).abs() < 1e-6, "fractions sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "fractions sum to 1, got {total}"
+        );
+        // The phase arrays agree with each other.
+        let ns_total: u64 = s.phase_ns.iter().sum();
+        assert!(ns_total > 0);
+        for i in 0..6 {
+            assert!((s.phase_cycles[i] - s.phase_ns[i] as f64 * NOMINAL_GHZ).abs() < 1e-6);
+            let (min, max) = s.phase_minmax_ns[i];
+            assert!(min <= max);
+            assert!(max <= s.phase_ns[i]);
+        }
+        // Exact histogram quantiles are present whenever matches exist.
+        assert!(s.latency_p99_ms.is_some());
+        assert!(s.latency_max_ms.unwrap() >= s.latency_p99_ms.unwrap() - 1e-9);
     }
 
     #[test]
-    fn json_round_trips_through_serde() {
+    fn json_is_valid_and_complete() {
         let s = sample_summary();
-        let json = s.to_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed["algorithm"], "NPJ");
-        assert_eq!(parsed["matches"], 2500);
-        assert!(parsed["progress"].as_array().is_some());
+        let parsed = Json::parse(&s.to_json()).expect("summary emits valid JSON");
+        assert_eq!(parsed.get("algorithm").and_then(Json::as_str), Some("NPJ"));
+        assert_eq!(parsed.get("matches").and_then(Json::as_u64), Some(2500));
+        assert_eq!(
+            parsed
+                .get("phase_ns")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(6)
+        );
+        assert_eq!(
+            parsed
+                .get("phase_cycles")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(6)
+        );
+        assert!(parsed
+            .get("latency_p99_ms")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(parsed.get("progress").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let ds = MicroSpec::static_counts(400, 400)
+            .dupe(4)
+            .seed(2)
+            .generate();
+        let mut cfg = RunConfig::with_threads(2).record_all();
+        cfg.journal = true;
+        let result = execute(Algorithm::Prj, &ds, &cfg);
+        let summary = RunSummary::from_result(&result);
+        let jsonl = metrics_jsonl(&summary, &result);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // summary + histogram + 6 phases + one journal line per worker.
+        assert_eq!(lines.len(), 2 + 6 + 2, "{jsonl}");
+        for line in &lines {
+            let v = Json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("type").and_then(Json::as_str).is_some());
+        }
+        // With sample_every = 1 the histogram p95 agrees with the
+        // sample-based quantile within the 1/128 bucket error.
+        let p95_hist = result.hist.quantile_ms(0.95).unwrap();
+        let p95_samples = latency_quantile_ms(&result, 0.95).unwrap();
+        assert!(
+            (p95_hist - p95_samples).abs() <= p95_samples * 0.02 + 0.01,
+            "hist={p95_hist} samples={p95_samples}"
+        );
     }
 
     #[test]
@@ -144,5 +376,8 @@ mod tests {
         assert!(text.contains("algorithm:     NPJ"));
         assert!(text.contains("throughput:"));
         assert!(text.contains("matches:"));
+        assert!(text.contains("breakdown:"));
+        assert!(text.contains("build/sort"));
+        assert!(text.contains("total"));
     }
 }

@@ -12,7 +12,19 @@ pub const WORKLOAD_OPTS: &[&str] = &[
 ];
 
 /// Options shared by every executing subcommand.
-pub const RUN_OPTS: &[&str] = &["threads", "speedup", "sample-every", "delta", "radix-bits", "group-size", "scalar-sort", "eager-merge", "json"];
+pub const RUN_OPTS: &[&str] = &[
+    "threads",
+    "speedup",
+    "sample-every",
+    "delta",
+    "radix-bits",
+    "group-size",
+    "scalar-sort",
+    "eager-merge",
+    "json",
+    "trace-out",
+    "metrics-out",
+];
 
 /// Parse `--algo`.
 pub fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
@@ -128,8 +140,8 @@ fn load_csv_dataset(args: &Args) -> Result<Dataset, ArgError> {
 
 /// Build a run configuration from CLI options.
 pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
-    let mut cfg = RunConfig::with_threads(args.get_or("threads", 4)?)
-        .speedup(args.get_or("speedup", 25.0)?);
+    let mut cfg =
+        RunConfig::with_threads(args.get_or("threads", 4)?).speedup(args.get_or("speedup", 25.0)?);
     cfg.sample_every = args.get_or("sample-every", 64)?;
     cfg.pmj.delta = args.get_or("delta", cfg.pmj.delta)?;
     cfg.prj.radix_bits = args.get_or("radix-bits", cfg.prj.radix_bits)?;
@@ -138,6 +150,8 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
         cfg.sort = SortBackend::Scalar;
     }
     cfg.pmj.eager_merge = args.flag("eager-merge");
+    // Trace export needs per-worker span journals.
+    cfg.journal = args.get("trace-out").is_some();
     Ok(cfg)
 }
 
@@ -187,7 +201,8 @@ mod tests {
 
     #[test]
     fn config_knobs() {
-        let cfg = build_config(&parse("--threads 2 --speedup 50 --delta 0.3 --scalar-sort")).unwrap();
+        let cfg =
+            build_config(&parse("--threads 2 --speedup 50 --delta 0.3 --scalar-sort")).unwrap();
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.sort, SortBackend::Scalar);
         assert!((cfg.pmj.delta - 0.3).abs() < 1e-9);

@@ -23,7 +23,10 @@ pub struct ColumnarStream {
 impl ColumnarStream {
     /// Empty stream with reserved capacity.
     pub fn with_capacity(n: usize) -> Self {
-        ColumnarStream { keys: Vec::with_capacity(n), ts: Vec::with_capacity(n) }
+        ColumnarStream {
+            keys: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+        }
     }
 
     /// Split a row-form stream into columns.

@@ -50,7 +50,11 @@ mod tests {
         for k in 0..100u32 {
             buckets.insert(bucket_of(k, mask));
         }
-        assert!(buckets.len() > 90, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 90,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]

@@ -178,7 +178,14 @@ mod tests {
         let labels: Vec<_> = PHASES.iter().map(|p| p.label()).collect();
         assert_eq!(
             labels,
-            ["wait", "partition", "build/sort", "merge", "probe", "others"]
+            [
+                "wait",
+                "partition",
+                "build/sort",
+                "merge",
+                "probe",
+                "others"
+            ]
         );
     }
 }

@@ -88,13 +88,12 @@ impl P2Quantile {
             if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
                 let s = d.signum();
                 let parabolic = self.parabolic(i, s);
-                self.heights[i] = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    self.linear(i, s)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.positions[i] += s;
             }
         }
@@ -102,7 +101,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let (qm, qi, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, ni, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, ni, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         qi + s / (np - nm)
             * ((ni - nm + s) * (qp - qi) / (np - ni) + (np - ni - s) * (qi - qm) / (ni - nm))
     }
@@ -170,7 +173,10 @@ mod tests {
         }
         let exact = exact_quantile(all, 0.5);
         let got = est.estimate().unwrap();
-        assert!((got - exact).abs() < exact * 0.05, "P2 {got} vs exact {exact}");
+        assert!(
+            (got - exact).abs() < exact * 0.05,
+            "P2 {got} vs exact {exact}"
+        );
     }
 
     #[test]

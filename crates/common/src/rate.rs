@@ -25,7 +25,8 @@ impl Rate {
     /// Number of tuples this rate yields over a window of `w` milliseconds;
     /// `None` for an infinite rate (cardinality must be given explicitly).
     pub fn tuples_over(self, window_ms: u32) -> Option<usize> {
-        self.per_ms().map(|v| (v * window_ms as f64).round() as usize)
+        self.per_ms()
+            .map(|v| (v * window_ms as f64).round() as usize)
     }
 
     /// Qualitative band used by the decision tree of Figure 4. The

@@ -9,6 +9,7 @@
 //! reason).
 
 use crate::tuple::{Key, Ts};
+use iawj_obs::LogHistogram;
 
 /// One recorded join match: the result tuple of Definition 2 plus the
 /// stream-time moment it was emitted.
@@ -65,7 +66,11 @@ impl CollectingSink {
     /// The matches as `(key, r_ts, s_ts)` triples sorted canonically —
     /// the multiset equality form the correctness tests compare.
     pub fn canonical(&self) -> Vec<(Key, Ts, Ts)> {
-        let mut v: Vec<_> = self.matches.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+        let mut v: Vec<_> = self
+            .matches
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -74,7 +79,12 @@ impl CollectingSink {
 impl Sink for CollectingSink {
     #[inline]
     fn push(&mut self, key: Key, r_ts: Ts, s_ts: Ts, emit_ms: f64) {
-        self.matches.push(MatchRecord { key, r_ts, s_ts, emit_ms });
+        self.matches.push(MatchRecord {
+            key,
+            r_ts,
+            s_ts,
+            emit_ms,
+        });
     }
 
     fn count(&self) -> u64 {
@@ -82,16 +92,21 @@ impl Sink for CollectingSink {
     }
 }
 
-/// Counts all matches, records every `sample_every`-th (plus the final one
-/// implicitly via `last_emit_ms`). `sample_every = 1` records everything.
+/// Counts all matches, records every `sample_every`-th *and always the
+/// first* (so progressiveness curves start at the true first emission),
+/// and feeds every match's latency into a log-bucketed histogram so tail
+/// quantiles cover the full population, not just the sampled subset.
+/// `sample_every = 1` records everything.
 #[derive(Debug)]
 pub struct CountingSink {
     count: u64,
     sample_every: u64,
-    /// Sampled matches (every `sample_every`-th).
+    /// Sampled matches (the first, then every `sample_every`-th).
     pub samples: Vec<MatchRecord>,
     /// Emission time of the last match seen, for end-to-end throughput.
     pub last_emit_ms: f64,
+    /// Exact latency distribution over *all* matches (ns resolution).
+    pub hist: LogHistogram,
 }
 
 impl CountingSink {
@@ -102,6 +117,7 @@ impl CountingSink {
             sample_every: sample_every.max(1),
             samples: Vec::new(),
             last_emit_ms: 0.0,
+            hist: LogHistogram::new(),
         }
     }
 }
@@ -110,8 +126,15 @@ impl Sink for CountingSink {
     #[inline]
     fn push(&mut self, key: Key, r_ts: Ts, s_ts: Ts, emit_ms: f64) {
         self.count += 1;
-        if self.count.is_multiple_of(self.sample_every) {
-            self.samples.push(MatchRecord { key, r_ts, s_ts, emit_ms });
+        let m = MatchRecord {
+            key,
+            r_ts,
+            s_ts,
+            emit_ms,
+        };
+        self.hist.record_ms(m.latency_ms());
+        if self.count == 1 || self.count.is_multiple_of(self.sample_every) {
+            self.samples.push(m);
         }
         if emit_ms > self.last_emit_ms {
             self.last_emit_ms = emit_ms;
@@ -146,14 +169,24 @@ mod tests {
 
     #[test]
     fn latency_uses_later_input() {
-        let m = MatchRecord { key: 1, r_ts: 100, s_ts: 400, emit_ms: 450.0 };
+        let m = MatchRecord {
+            key: 1,
+            r_ts: 100,
+            s_ts: 400,
+            emit_ms: 450.0,
+        };
         assert_eq!(m.result_ts(), 400);
         assert!((m.latency_ms() - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn latency_clamped_at_zero() {
-        let m = MatchRecord { key: 1, r_ts: 100, s_ts: 400, emit_ms: 399.0 };
+        let m = MatchRecord {
+            key: 1,
+            r_ts: 100,
+            s_ts: 400,
+            emit_ms: 399.0,
+        };
         assert_eq!(m.latency_ms(), 0.0);
     }
 
@@ -173,8 +206,38 @@ mod tests {
             s.push(1, 0, 0, i as f64);
         }
         assert_eq!(s.count(), 100);
-        assert_eq!(s.samples.len(), 10);
+        // Matches #1 (always) plus #10, #20, ..., #100.
+        assert_eq!(s.samples.len(), 11);
         assert!((s.last_emit_ms - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_sink_always_records_first_match() {
+        let mut s = CountingSink::new(1000);
+        s.push(7, 3, 4, 10.0);
+        assert_eq!(s.samples.len(), 1);
+        assert_eq!(s.samples[0].key, 7);
+        // The first match is not double-recorded when sample_every = 1.
+        let mut dense = CountingSink::new(1);
+        dense.push(1, 0, 0, 0.5);
+        assert_eq!(dense.samples.len(), 1);
+    }
+
+    #[test]
+    fn counting_sink_histogram_covers_every_match() {
+        let mut s = CountingSink::new(100);
+        for i in 0..250u32 {
+            // emit at result_ts + i ms → latency i ms.
+            s.push(1, 0, 0, i as f64);
+        }
+        assert_eq!(s.hist.count(), 250);
+        assert_eq!(s.hist.max_ms(), Some(249.0));
+        // Quantiles come from all matches though only #1, #100, #200 were
+        // sampled.
+        assert_eq!(s.samples.len(), 3);
+        // The ceil(0.5 * 250)-th observation of latencies 0..249 is 124.
+        let p50 = s.hist.quantile_ms(0.5).unwrap();
+        assert!((p50 - 124.0).abs() <= 124.0 / 128.0 + 0.001, "p50={p50}");
     }
 
     #[test]

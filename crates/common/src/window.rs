@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn offset_window() {
-        let w = Window { start: 500, len_ms: 250 };
+        let w = Window {
+            start: 500,
+            len_ms: 250,
+        };
         assert!(!w.contains(499));
         assert!(w.contains(500));
         assert!(w.contains(749));

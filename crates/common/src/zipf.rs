@@ -72,7 +72,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
         // partition_point returns the first rank whose cdf exceeds u.
-        self.cdf.partition_point(|&p| p <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&p| p <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Probability mass of a given rank (for tests and stats estimation).

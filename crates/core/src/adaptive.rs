@@ -93,7 +93,11 @@ pub fn execute_adaptive_with(
     let descriptor = sniff(ds, sample_frac, cfg.threads);
     let chosen = recommend(&descriptor, objective, thresholds);
     let result = execute(chosen, ds, cfg);
-    AdaptiveOutcome { descriptor, chosen, result }
+    AdaptiveOutcome {
+        descriptor,
+        chosen,
+        result,
+    }
 }
 
 /// Sniff, decide, and execute with default thresholds and a 5% sample.
@@ -122,7 +126,10 @@ mod tests {
 
     #[test]
     fn sniffs_static_data_as_infinite_rate() {
-        let ds = MicroSpec::static_counts(1000, 1000).dupe(50).seed(1).generate();
+        let ds = MicroSpec::static_counts(1000, 1000)
+            .dupe(50)
+            .seed(1)
+            .generate();
         let w = sniff(&ds, 0.05, 8);
         assert_eq!(w.rate_r, Rate::Infinite);
         assert!(w.dupe > 10.0, "dupe estimate {}", w.dupe);
@@ -140,13 +147,20 @@ mod tests {
 
     #[test]
     fn adaptive_run_is_correct_and_records_choice() {
-        let ds = MicroSpec::static_counts(2000, 2000).dupe(40).seed(3).generate();
+        let ds = MicroSpec::static_counts(2000, 2000)
+            .dupe(40)
+            .seed(3)
+            .generate();
         let cfg = RunConfig::with_threads(4);
         let out = execute_adaptive(&ds, &cfg, Objective::Throughput);
         assert_eq!(out.result.matches, match_count(&ds.r, &ds.s, ds.window));
         assert_eq!(out.chosen, out.result.algorithm);
         // Static + high duplication must land on a lazy sort join.
-        assert!(out.chosen.is_lazy() && out.chosen.is_sort_based(), "{}", out.chosen);
+        assert!(
+            out.chosen.is_lazy() && out.chosen.is_sort_based(),
+            "{}",
+            out.chosen
+        );
     }
 
     #[test]

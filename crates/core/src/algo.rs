@@ -44,12 +44,20 @@ impl Algorithm {
     ];
 
     /// The lazy (relational) algorithms.
-    pub const LAZY: [Algorithm; 4] =
-        [Algorithm::Npj, Algorithm::Prj, Algorithm::MWay, Algorithm::MPass];
+    pub const LAZY: [Algorithm; 4] = [
+        Algorithm::Npj,
+        Algorithm::Prj,
+        Algorithm::MWay,
+        Algorithm::MPass,
+    ];
 
     /// The eager (stream) algorithms.
-    pub const EAGER: [Algorithm; 4] =
-        [Algorithm::ShjJm, Algorithm::ShjJb, Algorithm::PmjJm, Algorithm::PmjJb];
+    pub const EAGER: [Algorithm; 4] = [
+        Algorithm::ShjJm,
+        Algorithm::ShjJb,
+        Algorithm::PmjJm,
+        Algorithm::PmjJb,
+    ];
 
     /// Paper display name.
     pub fn name(self) -> &'static str {

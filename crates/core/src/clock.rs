@@ -26,12 +26,23 @@ impl EventClock {
     /// emission timestamps.
     pub fn start(speedup: f64, gated: bool) -> Self {
         assert!(speedup > 0.0, "speedup must be positive");
-        EventClock { start: Instant::now(), speedup, gated }
+        EventClock {
+            start: Instant::now(),
+            speedup,
+            gated,
+        }
     }
 
     /// Convenience: ungated clock at 1×.
     pub fn ungated() -> Self {
         EventClock::start(1.0, false)
+    }
+
+    /// The instant the run began — the common time origin for all worker
+    /// span journals, so their trace lanes line up.
+    #[inline]
+    pub fn epoch(&self) -> Instant {
+        self.start
     }
 
     /// Stream milliseconds elapsed since the run began.
@@ -109,7 +120,10 @@ mod tests {
     fn gating_respects_timestamps() {
         let c = EventClock::start(1.0, true);
         assert!(c.available(0));
-        assert!(!c.available(60_000), "a timestamp a minute out must not be available yet");
+        assert!(
+            !c.available(60_000),
+            "a timestamp a minute out must not be available yet"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct PrjConfig {
 
 impl Default for PrjConfig {
     fn default() -> Self {
-        PrjConfig { radix_bits: 10, max_bits_per_pass: 8, buffered_scatter: false }
+        PrjConfig {
+            radix_bits: 10,
+            max_bits_per_pass: 8,
+            buffered_scatter: false,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ pub struct PmjConfig {
 
 impl Default for PmjConfig {
     fn default() -> Self {
-        PmjConfig { delta: 0.20, eager_merge: false }
+        PmjConfig {
+            delta: 0.20,
+            eager_merge: false,
+        }
     }
 }
 
@@ -84,7 +91,9 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { defer_at_batch: crate::eager::BATCH }
+        HybridConfig {
+            defer_at_batch: crate::eager::BATCH,
+        }
     }
 }
 
@@ -103,6 +112,12 @@ pub struct RunConfig {
     /// Record a memory-consumption sample roughly every this many processed
     /// tuples per worker (0 disables the gauge).
     pub mem_sample_every: usize,
+    /// Record per-worker span journals (phase intervals + instant events)
+    /// for trace export. Off by default: a disabled journal allocates
+    /// nothing and costs one branch per phase switch.
+    pub journal: bool,
+    /// Ring capacity (spans and marks each) of one worker's journal.
+    pub journal_capacity: usize,
     /// NPJ knobs.
     pub npj: NpjConfig,
     /// PRJ knobs.
@@ -125,6 +140,8 @@ impl Default for RunConfig {
             speedup: 1.0,
             sample_every: 64,
             mem_sample_every: 4096,
+            journal: false,
+            journal_capacity: 1 << 14,
             npj: NpjConfig::default(),
             prj: PrjConfig::default(),
             pmj: PmjConfig::default(),
@@ -138,7 +155,10 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Config with a given thread count, defaults elsewhere.
     pub fn with_threads(threads: usize) -> Self {
-        RunConfig { threads, ..Default::default() }
+        RunConfig {
+            threads,
+            ..Default::default()
+        }
     }
 
     /// Builder: set the sort backend.
@@ -159,11 +179,31 @@ impl RunConfig {
         self
     }
 
+    /// Builder: enable per-worker span journaling.
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
+        self
+    }
+
+    /// A journal for one worker, relative to `epoch`: ring-buffered at
+    /// `journal_capacity` when journaling is on, disabled (allocation-free)
+    /// otherwise.
+    pub fn journal_for(&self, epoch: std::time::Instant) -> iawj_obs::SpanJournal {
+        if self.journal {
+            iawj_obs::SpanJournal::with_capacity(epoch, self.journal_capacity)
+        } else {
+            iawj_obs::SpanJournal::disabled(epoch)
+        }
+    }
+
     /// Effective JB group size: clamped to divide `threads`.
     pub fn jb_group_size(&self) -> usize {
         let g = self.jb.group_size.clamp(1, self.threads);
         // Largest divisor of `threads` not exceeding g.
-        (1..=g).rev().find(|d| self.threads.is_multiple_of(*d)).unwrap_or(1)
+        (1..=g)
+            .rev()
+            .find(|d| self.threads.is_multiple_of(*d))
+            .unwrap_or(1)
     }
 
     /// JM matrix shape `(rows, cols)` with `rows*cols = threads`, as square
@@ -229,5 +269,16 @@ mod tests {
         assert_eq!(c.sort, SortBackend::Scalar);
         assert_eq!(c.sample_every, 1);
         assert!((c.speedup - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journal_factory_respects_flag() {
+        let epoch = std::time::Instant::now();
+        let off = RunConfig::default();
+        assert!(!off.journal_for(epoch).enabled());
+        let on = RunConfig::default().with_journal();
+        let j = on.journal_for(epoch);
+        assert!(j.enabled());
+        assert_eq!(j.epoch(), epoch);
     }
 }

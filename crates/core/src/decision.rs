@@ -206,21 +206,34 @@ mod tests {
     #[test]
     fn low_rate_always_shj_jm() {
         let w = workload(100.0, 1000.0);
-        for obj in [Objective::Throughput, Objective::Latency, Objective::Progressiveness] {
+        for obj in [
+            Objective::Throughput,
+            Objective::Latency,
+            Objective::Progressiveness,
+        ] {
             assert_eq!(recommend_default(&w, obj), Algorithm::ShjJm);
         }
         // One low stream suffices (e.g. Stock).
         let mut w = workload(30000.0, 1.0);
         w.rate_s = Rate::PerMs(100.0);
-        assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::ShjJm);
+        assert_eq!(
+            recommend_default(&w, Objective::Throughput),
+            Algorithm::ShjJm
+        );
     }
 
     #[test]
     fn high_rate_high_dupe_sorts() {
         let mut w = workload(30000.0, 100.0);
-        assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::MPass);
+        assert_eq!(
+            recommend_default(&w, Objective::Throughput),
+            Algorithm::MPass
+        );
         w.cores = 4;
-        assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::MWay);
+        assert_eq!(
+            recommend_default(&w, Objective::Throughput),
+            Algorithm::MWay
+        );
     }
 
     #[test]
@@ -238,7 +251,11 @@ mod tests {
     #[test]
     fn medium_rate_high_dupe_is_pmj_jb() {
         let w = workload(6400.0, 100.0);
-        for obj in [Objective::Throughput, Objective::Latency, Objective::Progressiveness] {
+        for obj in [
+            Objective::Throughput,
+            Objective::Latency,
+            Objective::Progressiveness,
+        ] {
             assert_eq!(recommend_default(&w, obj), Algorithm::PmjJb, "{obj:?}");
         }
     }
@@ -247,7 +264,10 @@ mod tests {
     fn medium_rate_low_dupe_follows_objective() {
         let w = workload(6400.0, 1.0);
         assert_eq!(recommend_default(&w, Objective::Latency), Algorithm::ShjJm);
-        assert_eq!(recommend_default(&w, Objective::Progressiveness), Algorithm::ShjJm);
+        assert_eq!(
+            recommend_default(&w, Objective::Progressiveness),
+            Algorithm::ShjJm
+        );
         // Throughput objective falls back to the lazy pick.
         assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::Prj);
     }
@@ -263,7 +283,10 @@ mod tests {
             cores: 8,
         };
         // DEBS-like: static, huge duplication -> MPass.
-        assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::MPass);
+        assert_eq!(
+            recommend_default(&w, Objective::Throughput),
+            Algorithm::MPass
+        );
     }
 
     #[test]
@@ -296,9 +319,11 @@ mod tests {
                                 total_tuples: tuples,
                                 cores,
                             };
-                            for obj in
-                                [Objective::Throughput, Objective::Latency, Objective::Progressiveness]
-                            {
+                            for obj in [
+                                Objective::Throughput,
+                                Objective::Latency,
+                                Objective::Progressiveness,
+                            ] {
                                 let _ = recommend_default(&w, obj);
                             }
                         }

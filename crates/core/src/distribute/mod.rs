@@ -64,7 +64,12 @@ impl<'a> View<'a> {
     /// JM-style strided view.
     pub fn strided(data: &'a [Tuple], offset: usize, stride: usize) -> Self {
         assert!(stride > 0 && offset < stride);
-        View { data, next: 0, kind: ViewKind::Strided { offset, stride }, log: Vec::new() }
+        View {
+            data,
+            next: 0,
+            kind: ViewKind::Strided { offset, stride },
+            log: Vec::new(),
+        }
     }
 
     /// JB-style class view. `own_only` selects the round-robin-owned subset
@@ -81,7 +86,14 @@ impl<'a> View<'a> {
         View {
             data,
             next: 0,
-            kind: ViewKind::Class { groups, group, g, member, own_only, seq: 0 },
+            kind: ViewKind::Class {
+                groups,
+                group,
+                g,
+                member,
+                own_only,
+                seq: 0,
+            },
             log: Vec::new(),
         }
     }
@@ -104,7 +116,11 @@ impl<'a> View<'a> {
                 // Jump the cursor to the first index of our stripe.
                 if self.next % stride != offset {
                     let base = self.next - self.next % stride;
-                    self.next = if base + offset >= self.next { base + offset } else { base + stride + offset };
+                    self.next = if base + offset >= self.next {
+                        base + offset
+                    } else {
+                        base + stride + offset
+                    };
                 }
                 while out.len() - before < max && self.next < self.data.len() {
                     let t = self.data[self.next];
@@ -115,7 +131,14 @@ impl<'a> View<'a> {
                     self.next += stride;
                 }
             }
-            ViewKind::Class { groups, group, g, member, own_only, ref mut seq } => {
+            ViewKind::Class {
+                groups,
+                group,
+                g,
+                member,
+                own_only,
+                ref mut seq,
+            } => {
                 while out.len() - before < max && self.next < self.data.len() {
                     let t = self.data[self.next];
                     if !clock.available(t.ts) {

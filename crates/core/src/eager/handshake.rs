@@ -68,17 +68,19 @@ pub fn run(
         let mut handles = Vec::with_capacity(threads);
         for (core, rx) in receivers.into_iter().enumerate() {
             let next = senders.get(core + 1).cloned();
-            handles.push(scope.spawn(move || {
-                core_loop(core, threads, rx, next, cfg, clock)
-            }));
+            handles.push(scope.spawn(move || core_loop(core, threads, rx, next, cfg, clock)));
         }
         drop(senders);
 
         // Feed the pipeline, gated on arrival.
         for (seq, &(t, is_r)) in feed.iter().enumerate() {
             clock.wait_until(t.ts);
-            head.send(Msg::Tuple { t, is_r, seq: seq as u32 })
-                .expect("pipeline alive");
+            head.send(Msg::Tuple {
+                t,
+                is_r,
+                seq: seq as u32,
+            })
+            .expect("pipeline alive");
         }
         head.send(Msg::Done).expect("pipeline alive");
         drop(head);
@@ -101,7 +103,7 @@ fn core_loop(
     clock: &EventClock,
 ) -> WorkerOut {
     let mut out = WorkerOut::new(cfg.sample_every);
-    let mut timer = PhaseTimer::start(Phase::Wait);
+    let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
     let mut emit = EmitClock::new(clock);
     let mut r_store: Store = HashMap::new();
     let mut s_store: Store = HashMap::new();
@@ -114,6 +116,7 @@ fn core_loop(
         };
         match msg {
             Msg::Done => {
+                timer.instant("pipeline:done");
                 if let Some(n) = &next {
                     let _ = n.send(Msg::Done);
                 }
@@ -153,7 +156,7 @@ fn core_loop(
             }
         }
     }
-    out.breakdown = timer.finish();
+    out.set_timing(timer.finish_parts());
     out
 }
 
@@ -165,7 +168,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 32) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 32) as u32))
+            .collect()
     }
 
     fn canonical(outs: &[WorkerOut]) -> Vec<(u32, u32, u32)> {
@@ -184,7 +189,10 @@ mod tests {
         let cfg = RunConfig::with_threads(4).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(32)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(32))
+        );
     }
 
     #[test]
@@ -194,7 +202,10 @@ mod tests {
         let cfg = RunConfig::with_threads(1).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(32)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(32))
+        );
     }
 
     #[test]

@@ -169,8 +169,7 @@ impl Engine for HybridEngine {
 
     fn state_bytes(&self) -> usize {
         self.shj.state_bytes()
-            + (self.r_backlog.capacity() + self.s_backlog.capacity())
-                * std::mem::size_of::<Tuple>()
+            + (self.r_backlog.capacity() + self.s_backlog.capacity()) * std::mem::size_of::<Tuple>()
     }
 }
 
@@ -186,15 +185,28 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     fn run_single(r: &[Tuple], s: &[Tuple], defer_at: usize) -> Vec<(u32, u32, u32)> {
         let clock = EventClock::ungated();
         let cfg = RunConfig::with_threads(1).record_all();
         let engine = HybridEngine::new(r.len(), s.len(), defer_at, SortBackend::Vectorized);
-        let out = drive_worker(engine, View::strided(r, 0, 1), View::strided(s, 0, 1), &cfg, &clock);
-        let mut got: Vec<_> = out.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+        let out = drive_worker(
+            engine,
+            View::strided(r, 0, 1),
+            View::strided(s, 0, 1),
+            &cfg,
+            &clock,
+        );
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
         got.sort_unstable();
         got
     }
@@ -245,7 +257,11 @@ mod tests {
         for chunk in s.chunks(64) {
             engine.on_s(chunk, &mut timer, &mut emit, &mut out);
         }
-        assert!(engine.flushes() > 1, "expected mid-stream flushes, got {}", engine.flushes());
+        assert!(
+            engine.flushes() > 1,
+            "expected mid-stream flushes, got {}",
+            engine.flushes()
+        );
         engine.finish(&mut timer, &mut emit, &mut out);
         assert_eq!(engine.backlog_len(), 0);
         let expect = crate::reference::match_count(&r, &s, Window::of_len(64));
@@ -261,7 +277,12 @@ mod tests {
         let mut out = WorkerOut::new(1);
         e.on_r(&[Tuple::new(1, 0)], &mut timer, &mut emit, &mut out);
         assert_eq!(e.backlog_len(), 0, "below threshold stays eager");
-        e.on_r(&[Tuple::new(1, 1), Tuple::new(1, 2)], &mut timer, &mut emit, &mut out);
+        e.on_r(
+            &[Tuple::new(1, 1), Tuple::new(1, 2)],
+            &mut timer,
+            &mut emit,
+            &mut out,
+        );
         assert_eq!(e.backlog_len(), 2, "threshold batch defers");
         e.on_s(&[Tuple::new(1, 3)], &mut timer, &mut emit, &mut out);
         assert_eq!(e.backlog_len(), 2, "small batches stay eager (not sticky)");

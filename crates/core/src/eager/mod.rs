@@ -28,10 +28,22 @@ pub const BATCH: usize = 64;
 /// A per-worker eager join engine.
 pub trait Engine {
     /// Process a batch of newly arrived R tuples.
-    fn on_r(&mut self, batch: &[Tuple], timer: &mut PhaseTimer, emit: &mut EmitClock<'_>, out: &mut WorkerOut);
+    fn on_r(
+        &mut self,
+        batch: &[Tuple],
+        timer: &mut PhaseTimer,
+        emit: &mut EmitClock<'_>,
+        out: &mut WorkerOut,
+    );
 
     /// Process a batch of newly arrived S tuples.
-    fn on_s(&mut self, batch: &[Tuple], timer: &mut PhaseTimer, emit: &mut EmitClock<'_>, out: &mut WorkerOut);
+    fn on_s(
+        &mut self,
+        batch: &[Tuple],
+        timer: &mut PhaseTimer,
+        emit: &mut EmitClock<'_>,
+        out: &mut WorkerOut,
+    );
 
     /// Both streams are exhausted: flush any remaining work (PMJ's final
     /// sort + merge phase; a no-op for SHJ).
@@ -50,7 +62,7 @@ pub fn drive_worker<E: Engine>(
     clock: &EventClock,
 ) -> WorkerOut {
     let mut out = WorkerOut::new(cfg.sample_every);
-    let mut timer = PhaseTimer::start(Phase::Other);
+    let mut timer = PhaseTimer::with_journal(Phase::Other, cfg.journal_for(clock.epoch()));
     let mut emit = EmitClock::new(clock);
     let mut r_batch: Vec<Tuple> = Vec::with_capacity(BATCH);
     let mut s_batch: Vec<Tuple> = Vec::with_capacity(BATCH);
@@ -98,11 +110,15 @@ pub fn drive_worker<E: Engine>(
             (Take::Got(_), _) | (_, Take::Got(_)) => {}
             _ => {
                 // Neither stream has an arrived tuple: stall until one does.
+                if timer.current() != Phase::Wait {
+                    timer.instant("stall");
+                }
                 timer.switch_to(Phase::Wait);
                 std::thread::sleep(Duration::from_micros(50));
             }
         }
     }
+    timer.instant("flush");
     engine.finish(&mut timer, &mut emit, &mut out);
     if cfg.mem_sample_every > 0 {
         let bytes = engine.state_bytes()
@@ -111,7 +127,7 @@ pub fn drive_worker<E: Engine>(
             + retained.capacity() * std::mem::size_of::<Tuple>();
         out.mem_samples.push((clock.now_ms(), bytes));
     }
-    out.breakdown = timer.finish();
+    out.set_timing(timer.finish_parts());
     out
 }
 
@@ -128,10 +144,22 @@ mod tests {
     }
 
     impl Engine for CountEngine {
-        fn on_r(&mut self, batch: &[Tuple], _t: &mut PhaseTimer, _e: &mut EmitClock<'_>, _o: &mut WorkerOut) {
+        fn on_r(
+            &mut self,
+            batch: &[Tuple],
+            _t: &mut PhaseTimer,
+            _e: &mut EmitClock<'_>,
+            _o: &mut WorkerOut,
+        ) {
             self.r += batch.len();
         }
-        fn on_s(&mut self, batch: &[Tuple], _t: &mut PhaseTimer, _e: &mut EmitClock<'_>, out: &mut WorkerOut) {
+        fn on_s(
+            &mut self,
+            batch: &[Tuple],
+            _t: &mut PhaseTimer,
+            _e: &mut EmitClock<'_>,
+            out: &mut WorkerOut,
+        ) {
             self.s += batch.len();
             out.sink.push(0, 0, 0, 1.0);
         }
@@ -151,7 +179,17 @@ mod tests {
         let cfg = RunConfig::with_threads(1);
         let rv = View::strided(&r, 0, 1);
         let sv = View::strided(&s, 0, 1);
-        let out = drive_worker(CountEngine { r: 0, s: 0, finished: false }, rv, sv, &cfg, &clock);
+        let out = drive_worker(
+            CountEngine {
+                r: 0,
+                s: 0,
+                finished: false,
+            },
+            rv,
+            sv,
+            &cfg,
+            &clock,
+        );
         assert!(out.sink.count() > 0);
         assert!(out.breakdown.total_ns() > 0);
     }
@@ -166,7 +204,17 @@ mod tests {
         let cfg = RunConfig::with_threads(1);
         let rv = View::strided(&r, 0, 1);
         let sv = View::strided(&s, 0, 1);
-        let out = drive_worker(CountEngine { r: 0, s: 0, finished: false }, rv, sv, &cfg, &clock);
+        let out = drive_worker(
+            CountEngine {
+                r: 0,
+                s: 0,
+                finished: false,
+            },
+            rv,
+            sv,
+            &cfg,
+            &clock,
+        );
         assert!(
             out.breakdown[Phase::Wait] > 0,
             "worker must have stalled waiting for the 30 ms tuples"
@@ -183,8 +231,21 @@ mod tests {
         cfg.mem_sample_every = 10;
         let rv = View::strided(&r, 0, 1);
         let sv = View::strided(&s, 0, 1);
-        let out = drive_worker(CountEngine { r: 0, s: 0, finished: false }, rv, sv, &cfg, &clock);
+        let out = drive_worker(
+            CountEngine {
+                r: 0,
+                s: 0,
+                finished: false,
+            },
+            rv,
+            sv,
+            &cfg,
+            &clock,
+        );
         let last_bytes = out.mem_samples.last().expect("final mem sample").1;
-        assert!(last_bytes >= 100 * 8, "retained buffer must be accounted: {last_bytes}");
+        assert!(
+            last_bytes >= 100 * 8,
+            "retained buffer must be accounted: {last_bytes}"
+        );
     }
 }

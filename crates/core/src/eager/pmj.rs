@@ -199,15 +199,28 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     fn run_single(r: &[Tuple], s: &[Tuple], delta: f64) -> Vec<(u32, u32, u32)> {
         let clock = EventClock::ungated();
         let cfg = RunConfig::with_threads(1).record_all();
         let engine = PmjEngine::new(r.len().max(s.len()), delta, SortBackend::Vectorized);
-        let out = drive_worker(engine, View::strided(r, 0, 1), View::strided(s, 0, 1), &cfg, &clock);
-        let mut got: Vec<_> = out.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+        let out = drive_worker(
+            engine,
+            View::strided(r, 0, 1),
+            View::strided(s, 0, 1),
+            &cfg,
+            &clock,
+        );
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
         got.sort_unstable();
         got
     }
@@ -254,8 +267,12 @@ mod tests {
         for &delta in &[0.05, 0.3, 1.0] {
             let clock = EventClock::ungated();
             let cfg = RunConfig::with_threads(1).record_all();
-            let engine =
-                PmjEngine::with_eager_merge(r.len().max(s.len()), delta, SortBackend::Vectorized, true);
+            let engine = PmjEngine::with_eager_merge(
+                r.len().max(s.len()),
+                delta,
+                SortBackend::Vectorized,
+                true,
+            );
             let out = drive_worker(
                 engine,
                 View::strided(&r, 0, 1),
@@ -263,8 +280,12 @@ mod tests {
                 &cfg,
                 &clock,
             );
-            let mut got: Vec<_> =
-                out.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+            let mut got: Vec<_> = out
+                .sink
+                .samples
+                .iter()
+                .map(|m| (m.key, m.r_ts, m.s_ts))
+                .collect();
             got.sort_unstable();
             assert_eq!(got, expect, "delta={delta}");
         }
@@ -272,7 +293,10 @@ mod tests {
 
     #[test]
     fn run_size_respects_delta_and_floor() {
-        assert_eq!(PmjEngine::new(1000, 0.2, SortBackend::Scalar).run_size(), 200);
+        assert_eq!(
+            PmjEngine::new(1000, 0.2, SortBackend::Scalar).run_size(),
+            200
+        );
         assert_eq!(PmjEngine::new(10, 0.1, SortBackend::Scalar).run_size(), 16);
     }
 
@@ -283,7 +307,13 @@ mod tests {
         let clock = EventClock::ungated();
         let cfg = RunConfig::with_threads(1);
         let engine = PmjEngine::new(2000, 0.05, SortBackend::Vectorized);
-        let out = drive_worker(engine, View::strided(&r, 0, 1), View::strided(&s, 0, 1), &cfg, &clock);
+        let out = drive_worker(
+            engine,
+            View::strided(&r, 0, 1),
+            View::strided(&s, 0, 1),
+            &cfg,
+            &clock,
+        );
         assert!(out.breakdown[Phase::Merge] > 0, "merge phase must appear");
     }
 }

@@ -70,7 +70,8 @@ impl Engine for ShjEngine {
         timer.switch_to(Phase::Probe);
         for t in batch {
             let now = emit.now();
-            self.s_table.probe(t.key, |s_ts| out.sink.push(t.key, t.ts, s_ts, now));
+            self.s_table
+                .probe(t.key, |s_ts| out.sink.push(t.key, t.ts, s_ts, now));
         }
     }
 
@@ -88,7 +89,8 @@ impl Engine for ShjEngine {
         timer.switch_to(Phase::Probe);
         for t in batch {
             let now = emit.now();
-            self.r_table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+            self.r_table
+                .probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
         }
     }
 
@@ -113,7 +115,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     #[test]
@@ -129,7 +133,12 @@ mod tests {
             &cfg,
             &clock,
         );
-        let mut got: Vec<_> = out.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
         got.sort_unstable();
         assert_eq!(got, nested_loop_join(&r, &s, Window::of_len(64)));
     }
@@ -145,7 +154,11 @@ mod tests {
         e.on_r(&[Tuple::new(7, 1)], &mut timer, &mut emit, &mut out);
         e.on_s(&[Tuple::new(7, 2)], &mut timer, &mut emit, &mut out); // finds r@1 via r_table
         e.on_r(&[Tuple::new(7, 3)], &mut timer, &mut emit, &mut out); // finds s@2 via s_table
-        assert_eq!(out.sink.count(), 2, "matches (1,2) and (3,2), each exactly once");
+        assert_eq!(
+            out.sink.count(),
+            2,
+            "matches (1,2) and (3,2), each exactly once"
+        );
     }
 
     #[test]
@@ -156,7 +169,12 @@ mod tests {
         let mut emit = EmitClock::new(&clock);
         let mut timer = PhaseTimer::start(Phase::Other);
         let mut out = WorkerOut::new(1);
-        e.on_r(&[Tuple::new(1, 0), Tuple::new(1, 1)], &mut timer, &mut emit, &mut out);
+        e.on_r(
+            &[Tuple::new(1, 0), Tuple::new(1, 1)],
+            &mut timer,
+            &mut emit,
+            &mut out,
+        );
         assert_eq!(out.sink.count(), 0);
         e.on_s(&[Tuple::new(1, 2)], &mut timer, &mut emit, &mut out);
         assert_eq!(out.sink.count(), 2);

@@ -35,7 +35,9 @@ impl<T> Slots<T> {
 
     /// Read slot `i`; must only be called after the publishing barrier.
     pub(crate) fn get(&self, i: usize) -> &T {
-        self.0[i].get().expect("slot read before the publishing barrier")
+        self.0[i]
+            .get()
+            .expect("slot read before the publishing barrier")
     }
 
     /// Number of slots.
@@ -60,7 +62,11 @@ const EMIT_REFRESH: u32 = 32;
 impl<'a> EmitClock<'a> {
     /// A fresh emit clock reading `clock`.
     pub fn new(clock: &'a EventClock) -> Self {
-        EmitClock { clock, cached: clock.now_ms(), countdown: EMIT_REFRESH }
+        EmitClock {
+            clock,
+            cached: clock.now_ms(),
+            countdown: EMIT_REFRESH,
+        }
     }
 
     /// Current stream time, refreshed every `EMIT_REFRESH` calls.

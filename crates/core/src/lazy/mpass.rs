@@ -12,14 +12,13 @@ use crate::config::RunConfig;
 use crate::lazy::mway::{key_aligned_splitters, segment};
 use crate::lazy::{EmitClock, Slots};
 use crate::output::WorkerOut;
-use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::merge::{
     choose_splitters, merge_two_into, merge_two_into_branchless, splitter_bounds,
 };
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed, SortBackend};
-use iawj_exec::{run_workers, PhaseTimer};
-use parking_lot::Mutex;
+use iawj_exec::{run_workers, Latch, PhaseTimer};
 
 /// Run MPass.
 pub fn run(
@@ -32,8 +31,8 @@ pub fn run(
     let threads = cfg.threads;
     // Mutable run storage for the merge passes: slot i holds the run that
     // started as thread i's sorted chunk and absorbs its merge partners.
-    let r_store: Vec<Mutex<Option<Vec<u64>>>> = (0..threads).map(|_| Mutex::new(None)).collect();
-    let s_store: Vec<Mutex<Option<Vec<u64>>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let r_store: Vec<Latch<Option<Vec<u64>>>> = (0..threads).map(|_| Latch::new(None)).collect();
+    let s_store: Vec<Latch<Option<Vec<u64>>>> = (0..threads).map(|_| Latch::new(None)).collect();
     let merged: Slots<(Vec<u64>, Vec<u64>)> = Slots::new(1);
     let splitters: Slots<Vec<u64>> = Slots::new(1);
     let sorted = barrier(threads);
@@ -43,7 +42,7 @@ pub fn run(
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::start(Phase::Wait);
+        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
         clock.wait_until(arrive_by);
 
         // Sort local runs.
@@ -56,6 +55,7 @@ pub fn run(
         *s_store[tid].lock() = Some(s_run);
         timer.switch_to(Phase::Other);
         sorted.wait();
+        timer.instant("barrier:runs_sorted");
 
         // Successive two-way merge passes. In pass of width w, run i merges
         // run i+w for every i divisible by 2w; pair p is handled by worker
@@ -83,6 +83,7 @@ pub fn run(
             }
             timer.switch_to(Phase::Other);
             pass_done.wait();
+            timer.instant("merge:pass_done");
             timer.switch_to(Phase::Merge);
             width *= 2;
         }
@@ -96,8 +97,10 @@ pub fn run(
         let (r_all, s_all) = merged.get(0);
 
         if tid == 0 && cfg.mem_sample_every > 0 {
-            out.mem_samples
-                .push((clock.now_ms(), 2 * (r.len() + s.len()) * std::mem::size_of::<u64>()));
+            out.mem_samples.push((
+                clock.now_ms(),
+                2 * (r.len() + s.len()) * std::mem::size_of::<u64>(),
+            ));
         }
 
         // Range-partitioned merge join over the globally sorted inputs.
@@ -113,6 +116,7 @@ pub fn run(
         }
         timer.switch_to(Phase::Other);
         split_done.wait();
+        timer.instant("barrier:splitters_done");
         let bounds = splitter_bounds(splitters.get(0));
         if tid < bounds.len() {
             timer.switch_to(Phase::Probe);
@@ -123,7 +127,7 @@ pub fn run(
                 out.sink.push(k, rts, sts, emit.now());
             });
         }
-        out.breakdown = timer.finish();
+        out.set_timing(timer.finish_parts());
         out
     })
 }
@@ -136,7 +140,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     fn canonical(outs: &[WorkerOut]) -> Vec<(u32, u32, u32)> {
@@ -168,10 +174,15 @@ mod tests {
     fn scalar_backend_matches_too() {
         let r = random_stream(500, 64, 3);
         let s = random_stream(500, 64, 4);
-        let cfg = RunConfig::with_threads(4).record_all().sort(SortBackend::Scalar);
+        let cfg = RunConfig::with_threads(4)
+            .record_all()
+            .sort(SortBackend::Scalar);
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -183,7 +194,10 @@ mod tests {
         let cfg = RunConfig::with_threads(3).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::clock::EventClock;
 use crate::config::RunConfig;
 use crate::lazy::{EmitClock, Slots};
 use crate::output::WorkerOut;
-use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::merge::{choose_splitters, kway_merge_loser, splitter_bounds};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed};
@@ -58,7 +58,7 @@ pub fn run(
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::start(Phase::Wait);
+        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
         clock.wait_until(arrive_by);
 
         // Sort local runs.
@@ -71,6 +71,7 @@ pub fn run(
         s_runs.set(tid, s_run);
         timer.switch_to(Phase::Other);
         sorted.wait();
+        timer.instant("barrier:runs_sorted");
 
         // Range splitters from a sample of all runs.
         timer.switch_to(Phase::Partition);
@@ -82,21 +83,26 @@ pub fn run(
         }
         timer.switch_to(Phase::Other);
         split_done.wait();
+        timer.instant("barrier:splitters_done");
         let bounds = splitter_bounds(splitters.get(0));
 
         if tid == 0 && cfg.mem_sample_every > 0 {
             // Sorted copies of both inputs (runs + merged output).
-            out.mem_samples
-                .push((clock.now_ms(), 2 * (r.len() + s.len()) * std::mem::size_of::<u64>()));
+            out.mem_samples.push((
+                clock.now_ms(),
+                2 * (r.len() + s.len()) * std::mem::size_of::<u64>(),
+            ));
         }
 
         // Multi-way merge this worker's output range from all runs.
         if tid < bounds.len() {
             timer.switch_to(Phase::Merge);
-            let r_segs: Vec<&[u64]> =
-                (0..threads).map(|i| segment(r_runs.get(i), &bounds, tid)).collect();
-            let s_segs: Vec<&[u64]> =
-                (0..threads).map(|i| segment(s_runs.get(i), &bounds, tid)).collect();
+            let r_segs: Vec<&[u64]> = (0..threads)
+                .map(|i| segment(r_runs.get(i), &bounds, tid))
+                .collect();
+            let s_segs: Vec<&[u64]> = (0..threads)
+                .map(|i| segment(s_runs.get(i), &bounds, tid))
+                .collect();
             let r_sorted = kway_merge_loser(&r_segs);
             let s_sorted = kway_merge_loser(&s_segs);
 
@@ -106,7 +112,7 @@ pub fn run(
                 out.sink.push(k, rts, sts, emit.now());
             });
         }
-        out.breakdown = timer.finish();
+        out.set_timing(timer.finish_parts());
         out
     })
 }
@@ -119,7 +125,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     fn canonical(outs: &[WorkerOut]) -> Vec<(u32, u32, u32)> {
@@ -138,7 +146,10 @@ mod tests {
         let cfg = RunConfig::with_threads(4).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -149,7 +160,10 @@ mod tests {
         let cfg = RunConfig::with_threads(4).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -159,7 +173,10 @@ mod tests {
         let cfg = RunConfig::with_threads(1).record_all();
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -177,12 +194,7 @@ mod tests {
 
     #[test]
     fn splitter_alignment_drops_zero_and_dups() {
-        let s = key_aligned_splitters(vec![
-            (1u64 << 32) | 5,
-            (1u64 << 32) | 9,
-            2u64 << 32,
-            7,
-        ]);
+        let s = key_aligned_splitters(vec![(1u64 << 32) | 5, (1u64 << 32) | 9, 2u64 << 32, 7]);
         assert_eq!(s, vec![1u64 << 32, 2u64 << 32]);
     }
 }

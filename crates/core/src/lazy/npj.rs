@@ -10,7 +10,7 @@ use crate::clock::EventClock;
 use crate::config::RunConfig;
 use crate::lazy::EmitClock;
 use crate::output::WorkerOut;
-use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::{run_workers, PhaseTimer, SharedTable, StripedTable};
 
@@ -68,7 +68,7 @@ pub fn run(
     let build_done = barrier(threads);
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::start(Phase::Wait);
+        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
         clock.wait_until(arrive_by);
 
         timer.switch_to(Phase::BuildSort);
@@ -77,6 +77,7 @@ pub fn run(
         }
         timer.switch_to(Phase::Other);
         build_done.wait();
+        timer.instant("barrier:build_done");
         if tid == 0 && cfg.mem_sample_every > 0 {
             out.mem_samples.push((clock.now_ms(), table.bytes()));
         }
@@ -87,7 +88,7 @@ pub fn run(
             let now = emit.now();
             table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
         }
-        out.breakdown = timer.finish();
+        out.set_timing(timer.finish_parts());
         out
     })
 }
@@ -100,7 +101,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::clock::EventClock;
 use crate::config::RunConfig;
 use crate::lazy::{EmitClock, Slots};
 use crate::output::WorkerOut;
-use iawj_common::{Phase, Sink, Tuple, Ts};
+use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::radix::{histogram, partition_seq, ScatterPlan, SharedOut};
 use iawj_exec::{run_workers, LocalTable, PhaseTimer};
@@ -41,14 +41,21 @@ pub fn run(
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::start(Phase::Wait);
+        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
         clock.wait_until(arrive_by);
 
         // --- Pass 1: cooperative parallel partition of R and S ---
         timer.switch_to(Phase::Partition);
-        r_hists.set(tid, histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1));
-        s_hists.set(tid, histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1));
+        r_hists.set(
+            tid,
+            histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1),
+        );
+        s_hists.set(
+            tid,
+            histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1),
+        );
         hist_done.wait();
+        timer.instant("barrier:histograms_done");
         if tid == 0 {
             let rh: Vec<Vec<u32>> = (0..threads).map(|i| r_hists.get(i).clone()).collect();
             let sh: Vec<Vec<u32>> = (0..threads).map(|i| s_hists.get(i).clone()).collect();
@@ -69,14 +76,17 @@ pub fn run(
         }
         timer.switch_to(Phase::Other);
         scatter_done.wait();
+        timer.instant("barrier:scatter_done");
         // SAFETY: the barrier orders all scatter writes before these reads.
         let r_part: &[Tuple] = unsafe { r_out.as_slice() };
         let s_part: &[Tuple] = unsafe { s_out.as_slice() };
 
         if tid == 0 && cfg.mem_sample_every > 0 {
             // Partitioned copies of both inputs are PRJ's footprint.
-            out.mem_samples
-                .push((clock.now_ms(), (r.len() + s.len()) * std::mem::size_of::<Tuple>()));
+            out.mem_samples.push((
+                clock.now_ms(),
+                (r.len() + s.len()) * std::mem::size_of::<Tuple>(),
+            ));
         }
 
         // --- Per-partition cache-resident joins from a shared queue ---
@@ -98,13 +108,19 @@ pub fn run(
                 let rr = partition_seq(rp, bits1, bits2);
                 let ss = partition_seq(sp, bits1, bits2);
                 for q in 0..rr.fanout() {
-                    join_partition(rr.partition(q), ss.partition(q), &mut timer, &mut emit, &mut out);
+                    join_partition(
+                        rr.partition(q),
+                        ss.partition(q),
+                        &mut timer,
+                        &mut emit,
+                        &mut out,
+                    );
                 }
             } else {
                 join_partition(rp, sp, &mut timer, &mut emit, &mut out);
             }
         }
-        out.breakdown = timer.finish();
+        out.set_timing(timer.finish_parts());
         out
     })
 }
@@ -141,7 +157,9 @@ mod tests {
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
-        (0..n).map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32)).collect()
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() % keys, (i % 64) as u32))
+            .collect()
     }
 
     fn canonical(outs: &[WorkerOut]) -> Vec<(u32, u32, u32)> {
@@ -161,7 +179,10 @@ mod tests {
         cfg.prj.radix_bits = 6; // single pass
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -173,7 +194,10 @@ mod tests {
         cfg.prj.max_bits_per_pass = 6; // force a refinement pass
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]
@@ -196,7 +220,10 @@ mod tests {
         cfg.prj.buffered_scatter = true;
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
-        assert_eq!(canonical(&outs), nested_loop_join(&r, &s, Window::of_len(64)));
+        assert_eq!(
+            canonical(&outs),
+            nested_loop_join(&r, &s, Window::of_len(64))
+        );
     }
 
     #[test]

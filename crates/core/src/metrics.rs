@@ -19,8 +19,9 @@ pub fn latency_quantile_ms(result: &RunResult, q: f64) -> Option<f64> {
 
 /// Progressiveness curve: cumulative fraction of matches delivered as a
 /// function of elapsed stream time (§4.1). Returns `(elapsed_ms, fraction)`
-/// points, one per sample; sample `i` stands for match number
-/// `(i+1) × sample_every`, capped at the true total.
+/// points, one per sample. The sink always records the first match, so
+/// sample 0 stands for match #1 and sample `i ≥ 1` stands for match number
+/// `i × sample_every`, capped at the true total.
 pub fn progressiveness(result: &RunResult) -> Vec<(f64, f64)> {
     if result.matches == 0 {
         return Vec::new();
@@ -31,10 +32,29 @@ pub fn progressiveness(result: &RunResult) -> Vec<(f64, f64)> {
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            let cum = ((i as u64 + 1) * result.sample_every).min(result.matches);
-            (m.emit_ms, cum as f64 / total)
+            let cum = if result.sample_every == 1 {
+                i as u64 + 1
+            } else if i == 0 {
+                1
+            } else {
+                i as u64 * result.sample_every
+            };
+            (m.emit_ms, cum.min(result.matches) as f64 / total)
         })
         .collect()
+}
+
+/// Quantile latency from the full-population histogram: covers *every*
+/// match, not just the sampled subset, at ≤ 1/128 relative bucket error.
+/// Prefer this over [`latency_quantile_ms`] for tail quantiles (p99, max),
+/// where sampling bias is worst. `None` when the run had no matches.
+pub fn latency_quantile_exact_ms(result: &RunResult, q: f64) -> Option<f64> {
+    result.hist.quantile_ms(q)
+}
+
+/// Exact worst-case latency over all matches, from the histogram.
+pub fn latency_max_ms(result: &RunResult) -> Option<f64> {
+    result.hist.max_ms()
 }
 
 /// Stream time at which `fraction` of all matches had been delivered —
@@ -49,16 +69,23 @@ pub fn time_to_fraction_ms(result: &RunResult, fraction: f64) -> Option<f64> {
 
 /// Down-sample a progressiveness curve to at most `n` evenly spaced points
 /// (for printing Figure 6/9c/10c/12b series without flooding the output).
+/// For `n ≥ 2` the first and last points are always kept, so the thinned
+/// curve starts where the original starts and still ends at the 100% mark.
+/// `n == 1` keeps only the final point; `n == 0` returns the curve as-is.
 pub fn thin_curve(curve: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
     if curve.len() <= n || n == 0 {
         return curve.to_vec();
+    }
+    let last = *curve.last().expect("non-empty");
+    if n == 1 {
+        return vec![last];
     }
     let step = curve.len() as f64 / n as f64;
     let mut out: Vec<(f64, f64)> = (0..n)
         .map(|i| curve[((i as f64 + 0.5) * step) as usize])
         .collect();
-    // Always keep the final point: it anchors the 100% mark.
-    *out.last_mut().expect("n > 0") = *curve.last().expect("non-empty");
+    out[0] = curve[0];
+    *out.last_mut().expect("n > 0") = last;
     out
 }
 
@@ -108,12 +135,34 @@ mod tests {
 
     #[test]
     fn progressiveness_respects_sampling_rate() {
-        // 3 samples at rate 10 standing for 30 matches of 32 total.
+        // The sink records the first match then every 10th: samples stand
+        // for matches #1, #10, #20 of 32 total.
         let samples = [(5.0, 0u32), (6.0, 0), (7.0, 0)];
         let r = run_with(&samples, 10, 32);
         let curve = progressiveness(&r);
-        assert!((curve[0].1 - 10.0 / 32.0).abs() < 1e-9);
-        assert!((curve[2].1 - 30.0 / 32.0).abs() < 1e-9);
+        assert!((curve[0].1 - 1.0 / 32.0).abs() < 1e-9);
+        assert!((curve[1].1 - 10.0 / 32.0).abs() < 1e-9);
+        assert!((curve[2].1 - 20.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_quantiles_use_histogram_not_samples() {
+        // Push 200 matches with latency = i ms through a rate-100 sink:
+        // only matches #1, #100, #200 are sampled, but the histogram sees
+        // all of them.
+        let mut w = WorkerOut::new(100);
+        for i in 0..200 {
+            w.sink.push(1, 0, 0, i as f64);
+        }
+        let r = RunResult::merge(Algorithm::Npj, 100, 100, 250.0, vec![w]);
+        assert_eq!(r.samples.len(), 3);
+        let p99 = latency_quantile_exact_ms(&r, 0.99).unwrap();
+        assert!((p99 - 198.0).abs() <= 198.0 / 128.0 + 0.001, "p99={p99}");
+        assert_eq!(latency_max_ms(&r).unwrap(), 199.0);
+        // No matches → no quantiles.
+        let empty = RunResult::merge(Algorithm::Npj, 0, 1, 1.0, vec![WorkerOut::new(1)]);
+        assert!(latency_quantile_exact_ms(&empty, 0.5).is_none());
+        assert!(latency_max_ms(&empty).is_none());
     }
 
     #[test]
@@ -121,9 +170,21 @@ mod tests {
         let curve: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64 / 999.0)).collect();
         let thin = thin_curve(&curve, 20);
         assert_eq!(thin.len(), 20);
+        assert_eq!(*thin.first().unwrap(), *curve.first().unwrap());
         assert_eq!(*thin.last().unwrap(), *curve.last().unwrap());
         assert!(thin.windows(2).all(|w| w[0].0 <= w[1].0));
         // Short curves pass through unchanged.
         assert_eq!(thin_curve(&curve[..5], 20).len(), 5);
+    }
+
+    #[test]
+    fn thinning_tiny_n_regression() {
+        let curve: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 / 99.0)).collect();
+        // n == 2 keeps exactly the two endpoints.
+        assert_eq!(thin_curve(&curve, 2), vec![(0.0, 0.0), (99.0, 1.0)]);
+        // n == 1 keeps the 100% anchor (documented behaviour).
+        assert_eq!(thin_curve(&curve, 1), vec![(99.0, 1.0)]);
+        // n == 0 disables thinning.
+        assert_eq!(thin_curve(&curve, 0).len(), 100);
     }
 }

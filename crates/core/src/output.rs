@@ -2,16 +2,20 @@
 
 use crate::algo::Algorithm;
 use iawj_common::{CountingSink, MatchRecord, PhaseBreakdown, Sink};
+use iawj_obs::{chrome_trace, LogHistogram, SpanJournal};
 
 /// Everything one worker thread produces.
 #[derive(Debug)]
 pub struct WorkerOut {
-    /// The worker's match sink (counts + samples).
+    /// The worker's match sink (counts + samples + latency histogram).
     pub sink: CountingSink,
     /// Time spent per phase on this worker.
     pub breakdown: PhaseBreakdown,
     /// `(stream_ms, bytes_held)` samples of this worker's state size.
     pub mem_samples: Vec<(f64, usize)>,
+    /// This worker's span journal (disabled and empty unless the run
+    /// config enabled journaling).
+    pub journal: Option<SpanJournal>,
 }
 
 impl WorkerOut {
@@ -21,6 +25,16 @@ impl WorkerOut {
             sink: CountingSink::new(sample_every),
             breakdown: PhaseBreakdown::zero(),
             mem_samples: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Attach a finished timer's parts: the breakdown, and the journal if
+    /// it recorded anything.
+    pub fn set_timing(&mut self, parts: (PhaseBreakdown, SpanJournal)) {
+        self.breakdown = parts.0;
+        if parts.1.enabled() {
+            self.journal = Some(parts.1);
         }
     }
 }
@@ -49,6 +63,11 @@ pub struct RunResult {
     pub breakdown: PhaseBreakdown,
     /// Per-worker breakdowns (for utilisation studies).
     pub per_thread: Vec<PhaseBreakdown>,
+    /// Exact latency histogram over every match, merged across workers.
+    pub hist: LogHistogram,
+    /// Per-worker span journals, `(worker, journal)`, present only when
+    /// the run journaled.
+    pub journals: Vec<(usize, SpanJournal)>,
     /// Memory samples merged from all workers, sorted by time. Each entry
     /// is `(stream_ms, worker, bytes)`; aggregate consumption at time t is
     /// the sum over workers of each worker's latest reading before t (see
@@ -72,13 +91,19 @@ impl RunResult {
         let mut breakdown = PhaseBreakdown::zero();
         let mut per_thread = Vec::with_capacity(threads);
         let mut mem_samples: Vec<(f64, usize, usize)> = Vec::new();
+        let mut hist = LogHistogram::new();
+        let mut journals = Vec::new();
         for (wid, w) in workers.into_iter().enumerate() {
             matches += w.sink.count();
             last_emit_ms = last_emit_ms.max(w.sink.last_emit_ms);
+            hist.merge(&w.sink.hist);
             samples.extend(w.sink.samples);
             breakdown += w.breakdown;
             per_thread.push(w.breakdown);
             mem_samples.extend(w.mem_samples.iter().map(|&(t, b)| (t, wid, b)));
+            if let Some(j) = w.journal {
+                journals.push((wid, j));
+            }
         }
         samples.sort_by(|a, b| a.emit_ms.total_cmp(&b.emit_ms));
         mem_samples.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -93,15 +118,29 @@ impl RunResult {
             elapsed_ms,
             breakdown,
             per_thread,
+            hist,
+            journals,
             mem_samples,
         }
+    }
+
+    /// Render the run's span journals as a Chrome-trace JSON document (one
+    /// lane per worker). Empty trace when the run did not journal.
+    pub fn chrome_trace(&self) -> String {
+        let lanes: Vec<(usize, &SpanJournal)> =
+            self.journals.iter().map(|(wid, j)| (*wid, j)).collect();
+        chrome_trace(&lanes)
     }
 
     /// Throughput in input tuples per stream millisecond — total inputs
     /// divided by the timestamp of the last match (§4.2.2). Falls back to
     /// total elapsed time when a run produced no matches.
     pub fn throughput_tpms(&self) -> f64 {
-        let t = if self.last_emit_ms > 0.0 { self.last_emit_ms } else { self.elapsed_ms };
+        let t = if self.last_emit_ms > 0.0 {
+            self.last_emit_ms
+        } else {
+            self.elapsed_ms
+        };
         if t <= 0.0 {
             0.0
         } else {

@@ -69,8 +69,12 @@ mod tests {
     fn count_matches_nested_loop() {
         use iawj_common::Rng;
         let mut rng = Rng::new(3);
-        let r: Vec<Tuple> = (0..100).map(|i| Tuple::new(rng.next_u32() % 20, i % 50)).collect();
-        let s: Vec<Tuple> = (0..150).map(|i| Tuple::new(rng.next_u32() % 20, i % 50)).collect();
+        let r: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(rng.next_u32() % 20, i % 50))
+            .collect();
+        let s: Vec<Tuple> = (0..150)
+            .map(|i| Tuple::new(rng.next_u32() % 20, i % 50))
+            .collect();
         let w = Window::of_len(40);
         assert_eq!(
             match_count(&r, &s, w),

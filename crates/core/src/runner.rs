@@ -94,12 +94,8 @@ fn run_algorithm(
                         drive_worker(ShjEngine::new(exp_r, exp_s), rv, sv, cfg, clock)
                     }
                     Algorithm::HybridShj => {
-                        let engine = HybridEngine::new(
-                            exp_r,
-                            exp_s,
-                            cfg.hybrid.defer_at_batch,
-                            cfg.sort,
-                        );
+                        let engine =
+                            HybridEngine::new(exp_r, exp_s, cfg.hybrid.defer_at_batch, cfg.sort);
                         drive_worker(engine, rv, sv, cfg, clock)
                     }
                     _ => {
@@ -147,7 +143,10 @@ mod tests {
     use iawj_datagen::MicroSpec;
 
     fn small_static() -> Dataset {
-        MicroSpec::static_counts(800, 1000).dupe(4).seed(11).generate()
+        MicroSpec::static_counts(800, 1000)
+            .dupe(4)
+            .seed(11)
+            .generate()
     }
 
     #[test]
@@ -157,8 +156,11 @@ mod tests {
         for algo in Algorithm::STUDIED {
             let cfg = RunConfig::with_threads(4).record_all();
             let result = execute(algo, &ds, &cfg);
-            let mut got: Vec<_> =
-                result.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+            let mut got: Vec<_> = result
+                .samples
+                .iter()
+                .map(|m| (m.key, m.r_ts, m.s_ts))
+                .collect();
             got.sort_unstable();
             assert_eq!(got, expect, "{algo} diverged from the reference");
             assert_eq!(result.matches as usize, expect.len(), "{algo} count");

@@ -284,8 +284,10 @@ pub fn profile_with(
         Algorithm::Prj => {
             let bits = cfg.prj.radix_bits.min(cfg.prj.max_bits_per_pass).max(1);
             let fanout = 1usize << bits;
-            let r_out = layout.region(ds.r.len() as u64 * TUPLE_BYTES + fanout as u64 * TUPLE_BYTES);
-            let s_out = layout.region(ds.s.len() as u64 * TUPLE_BYTES + fanout as u64 * TUPLE_BYTES);
+            let r_out =
+                layout.region(ds.r.len() as u64 * TUPLE_BYTES + fanout as u64 * TUPLE_BYTES);
+            let s_out =
+                layout.region(ds.s.len() as u64 * TUPLE_BYTES + fanout as u64 * TUPLE_BYTES);
             rec.record(&mut hw, Phase::Partition, |hw| {
                 for (input, base, out) in [(&ds.r, r_base, r_out), (&ds.s, s_base, s_out)] {
                     let mut cursors = vec![0u64; fanout];
@@ -396,11 +398,23 @@ pub fn profile_with(
                 }
             });
         }
-        Algorithm::ShjJm | Algorithm::ShjJb | Algorithm::PmjJm | Algorithm::PmjJb
+        Algorithm::ShjJm
+        | Algorithm::ShjJb
+        | Algorithm::PmjJm
+        | Algorithm::PmjJb
         | Algorithm::HybridShj => {
             // The hybrid extension's eager half shares SHJ^JM's access
             // pattern; its bulk tail is a minority of the trace.
-            profile_eager(algorithm, ds, cfg, &mut hw, &mut layout, &mut rec, r_base, s_base);
+            profile_eager(
+                algorithm,
+                ds,
+                cfg,
+                &mut hw,
+                &mut layout,
+                &mut rec,
+                r_base,
+                s_base,
+            );
         }
         Algorithm::Handshake => {
             let layout_ref = &mut layout;
@@ -477,8 +491,16 @@ fn profile_eager(
                     jm::worker_views(&ds.r, &ds.s, rows, cols, w)
                 };
                 let core = &mut hw.cores[w];
-                let scan_r = if is_jb { ds.r.len() } else { ds.r.len() / rows + 1 };
-                let scan_s = if is_jb { ds.s.len() } else { ds.s.len() / cols + 1 };
+                let scan_r = if is_jb {
+                    ds.r.len()
+                } else {
+                    ds.r.len() / rows + 1
+                };
+                let scan_s = if is_jb {
+                    ds.s.len()
+                } else {
+                    ds.s.len() / cols + 1
+                };
                 for i in 0..scan_r {
                     core.access_range(r_base + i as u64 * TUPLE_BYTES, TUPLE_BYTES);
                 }
@@ -604,7 +626,10 @@ mod tests {
     use iawj_datagen::MicroSpec;
 
     fn tiny_ds(dupe: usize) -> Dataset {
-        MicroSpec::static_counts(4000, 4000).dupe(dupe).seed(7).generate()
+        MicroSpec::static_counts(4000, 4000)
+            .dupe(dupe)
+            .seed(7)
+            .generate()
     }
 
     fn cfg() -> RunConfig {
@@ -629,7 +654,10 @@ mod tests {
     fn eager_hash_misses_exceed_lazy_sort() {
         // The §5.3.1 headline: eager hash algorithms take far more cache
         // misses than the sort-based lazy ones on duplicate-heavy inputs.
-        let ds = MicroSpec::static_counts(50_000, 50_000).dupe(50).seed(3).generate();
+        let ds = MicroSpec::static_counts(50_000, 50_000)
+            .dupe(50)
+            .seed(3)
+            .generate();
         let shj = profile(Algorithm::ShjJm, &ds, &cfg()).per_tuple();
         let mway = profile(Algorithm::MWay, &ds, &cfg()).per_tuple();
         assert!(
@@ -642,7 +670,10 @@ mod tests {
 
     #[test]
     fn prj_partitions_reduce_probe_misses_vs_npj() {
-        let ds = MicroSpec::static_counts(60_000, 60_000).dupe(2).seed(9).generate();
+        let ds = MicroSpec::static_counts(60_000, 60_000)
+            .dupe(2)
+            .seed(9)
+            .generate();
         let npj = profile(Algorithm::Npj, &ds, &cfg());
         let prj = profile(Algorithm::Prj, &ds, &cfg());
         assert!(
@@ -678,7 +709,10 @@ mod tests {
     #[test]
     fn prefetch_reduces_sort_join_misses() {
         // MWay's sequential passes are exactly what a streamer masks.
-        let ds = MicroSpec::static_counts(60_000, 60_000).dupe(4).seed(4).generate();
+        let ds = MicroSpec::static_counts(60_000, 60_000)
+            .dupe(4)
+            .seed(4)
+            .generate();
         let plain = profile_with(Algorithm::MWay, &ds, &cfg(), false);
         let pf = profile_with(Algorithm::MWay, &ds, &cfg(), true);
         assert!(

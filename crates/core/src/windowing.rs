@@ -50,13 +50,22 @@ pub fn windows_for(spec: WindowSpec, r: &[Tuple], s: &[Tuple]) -> Vec<Window> {
         WindowSpec::Tumbling { len_ms } => {
             assert!(len_ms > 0, "tumbling windows need a positive length");
             (0..=max_ts / len_ms)
-                .map(|i| Window { start: i * len_ms, len_ms })
+                .map(|i| Window {
+                    start: i * len_ms,
+                    len_ms,
+                })
                 .collect()
         }
         WindowSpec::Sliding { len_ms, slide_ms } => {
-            assert!(len_ms > 0 && slide_ms > 0, "sliding windows need positive length and slide");
+            assert!(
+                len_ms > 0 && slide_ms > 0,
+                "sliding windows need positive length and slide"
+            );
             (0..=max_ts / slide_ms)
-                .map(|i| Window { start: i * slide_ms, len_ms })
+                .map(|i| Window {
+                    start: i * slide_ms,
+                    len_ms,
+                })
                 .collect()
         }
         WindowSpec::Session { gap_ms } => {
@@ -82,12 +91,18 @@ pub fn windows_for(spec: WindowSpec, r: &[Tuple], s: &[Tuple]) -> Vec<Window> {
             let mut prev = start;
             for &t in &stamps[1..] {
                 if t - prev >= gap_ms {
-                    out.push(Window { start, len_ms: prev - start + 1 });
+                    out.push(Window {
+                        start,
+                        len_ms: prev - start + 1,
+                    });
                     start = t;
                 }
                 prev = t;
             }
-            out.push(Window { start, len_ms: prev - start + 1 });
+            out.push(Window {
+                start,
+                len_ms: prev - start + 1,
+            });
             out
         }
     }
@@ -201,7 +216,10 @@ pub fn execute_windowed(
                 rate_r: Rate::Infinite,
                 rate_s: Rate::Infinite,
             };
-            WindowedResult { window: w, result: execute(algorithm, &ds, cfg) }
+            WindowedResult {
+                window: w,
+                result: execute(algorithm, &ds, cfg),
+            }
         })
         .collect()
 }
@@ -274,7 +292,10 @@ mod tests {
     fn sliding_windows_overlap() {
         let r = stream(200, 8, 500, 5);
         let s = stream(200, 8, 500, 6);
-        let spec = WindowSpec::Sliding { len_ms: 200, slide_ms: 100 };
+        let spec = WindowSpec::Sliding {
+            len_ms: 200,
+            slide_ms: 100,
+        };
         let ws = windows_for(spec, &r, &s);
         // A tuple at t=150 falls into windows starting at 0 and 100.
         let covering = ws.iter().filter(|w| w.contains(150)).count();
@@ -301,7 +322,13 @@ mod tests {
         assert!(ws[1].start >= 600);
         // No cross-session matches.
         let cfg = RunConfig::with_threads(2);
-        let outs = execute_windowed(Algorithm::MPass, &r, &s, WindowSpec::Session { gap_ms: 200 }, &cfg);
+        let outs = execute_windowed(
+            Algorithm::MPass,
+            &r,
+            &s,
+            WindowSpec::Session { gap_ms: 200 },
+            &cfg,
+        );
         let total: u64 = outs.iter().map(|w| w.result.matches).sum();
         let expect: u64 = ws.iter().map(|&w| window_matches(&r, &s, w)).sum();
         assert_eq!(total, expect);
@@ -316,9 +343,15 @@ mod tests {
             let slide = 1 + rng.below(len as u64) as u32;
             let a = rng.below(600) as u32;
             let b = rng.below(600) as u32;
-            let spec = WindowSpec::Sliding { len_ms: len, slide_ms: slide };
+            let spec = WindowSpec::Sliding {
+                len_ms: len,
+                slide_ms: slide,
+            };
             let brute = (0..=600u32 / slide)
-                .map(|k| Window { start: k * slide, len_ms: len })
+                .map(|k| Window {
+                    start: k * slide,
+                    len_ms: len,
+                })
                 .filter(|w| w.contains(a) && w.contains(b))
                 .count() as u64;
             assert_eq!(
@@ -335,7 +368,10 @@ mod tests {
         // multiplicity.
         let r = stream(120, 8, 400, 21);
         let s = stream(120, 8, 400, 22);
-        let spec = WindowSpec::Sliding { len_ms: 150, slide_ms: 50 };
+        let spec = WindowSpec::Sliding {
+            len_ms: 150,
+            slide_ms: 50,
+        };
         let cfg = RunConfig::with_threads(2);
         let per_window: u64 = execute_windowed(Algorithm::Npj, &r, &s, spec, &cfg)
             .iter()

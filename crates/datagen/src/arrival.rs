@@ -40,13 +40,7 @@ pub fn zipf_skewed(n: usize, window_ms: u32, theta: f64, rng: &mut Rng) -> Vec<T
 /// Spiky arrivals (Figure 3a, the Stock trade/quote pattern): a uniform
 /// baseline carrying `1 - spike_mass` of the tuples plus `spikes` narrow
 /// bursts at random positions carrying the rest.
-pub fn spiky(
-    n: usize,
-    window_ms: u32,
-    spikes: usize,
-    spike_mass: f64,
-    rng: &mut Rng,
-) -> Vec<Ts> {
+pub fn spiky(n: usize, window_ms: u32, spikes: usize, spike_mass: f64, rng: &mut Rng) -> Vec<Ts> {
     assert!((0.0..=1.0).contains(&spike_mass));
     if window_ms == 0 || n == 0 {
         return vec![0; n];

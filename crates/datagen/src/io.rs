@@ -29,7 +29,10 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
             CsvError::Parse { line, content } => {
-                write!(f, "line {line}: expected 'key,ts' with u32 fields, got '{content}'")
+                write!(
+                    f,
+                    "line {line}: expected 'key,ts' with u32 fields, got '{content}'"
+                )
             }
         }
     }
@@ -65,7 +68,10 @@ pub fn read_stream(reader: impl BufRead) -> Result<Vec<Tuple>, CsvError> {
         match parsed {
             Some(t) => out.push(t),
             None => {
-                return Err(CsvError::Parse { line: i + 1, content: trimmed.to_string() })
+                return Err(CsvError::Parse {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
             }
         }
     }

@@ -68,7 +68,11 @@ impl Default for MicroSpec {
 impl MicroSpec {
     /// Both streams at rate `v`, the Figure 9 configuration.
     pub fn with_rates(rate_r: f64, rate_s: f64) -> Self {
-        MicroSpec { rate_r, rate_s, ..Default::default() }
+        MicroSpec {
+            rate_r,
+            rate_s,
+            ..Default::default()
+        }
     }
 
     /// The static configuration of the §5.5 parameter studies:

@@ -101,7 +101,11 @@ mod tests {
         assert_eq!(st.count, 100_000);
         assert_eq!(st.distinct_keys, 100_000);
         assert!((st.dupe_avg - 1.0).abs() < 1e-9);
-        assert!(st.skew_key_est < 0.05, "unique stream skew {}", st.skew_key_est);
+        assert!(
+            st.skew_key_est < 0.05,
+            "unique stream skew {}",
+            st.skew_key_est
+        );
     }
 
     #[test]
@@ -156,10 +160,17 @@ mod tests {
     #[test]
     fn skew_ts_estimate_reacts_to_arrival_skew() {
         let uniform = MicroSpec::with_rates(50.0, 50.0).seed(8).generate();
-        let skewed = MicroSpec::with_rates(50.0, 50.0).skew_ts(1.6).seed(8).generate();
+        let skewed = MicroSpec::with_rates(50.0, 50.0)
+            .skew_ts(1.6)
+            .seed(8)
+            .generate();
         let u = StreamStats::measure(&uniform.r, uniform.rate_r);
         let z = StreamStats::measure(&skewed.r, skewed.rate_r);
-        assert!(u.skew_ts_est < 0.1, "uniform arrivals read {}", u.skew_ts_est);
+        assert!(
+            u.skew_ts_est < 0.1,
+            "uniform arrivals read {}",
+            u.skew_ts_est
+        );
         assert!(
             z.skew_ts_est > u.skew_ts_est + 0.3,
             "skewed {} vs uniform {}",

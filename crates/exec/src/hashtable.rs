@@ -11,9 +11,9 @@
 //! Both derive bucket indices from the shared [`iawj_common::hash_key`]
 //! so hash quality never differs across algorithms.
 
+use crate::latch::Latch;
 use iawj_common::hash::{bucket_of, next_pow2_at_least};
 use iawj_common::{Key, Ts};
-use parking_lot::Mutex;
 
 /// A thread-local chained hash table over `(key, ts)` entries.
 ///
@@ -65,7 +65,11 @@ impl LocalTable {
     pub fn insert(&mut self, key: Key, ts: Ts) {
         let b = bucket_of(key, self.mask);
         let idx = self.entries.len() as i32;
-        self.entries.push(Entry { key, ts, next: self.heads[b] });
+        self.entries.push(Entry {
+            key,
+            ts,
+            next: self.heads[b],
+        });
         self.heads[b] = idx;
     }
 
@@ -96,7 +100,7 @@ impl LocalTable {
 /// the access-conflict behaviour of a latched shared table faithfully.
 pub struct SharedTable {
     mask: u64,
-    buckets: Vec<Mutex<Vec<(Key, Ts)>>>,
+    buckets: Vec<Latch<Vec<(Key, Ts)>>>,
 }
 
 impl SharedTable {
@@ -105,7 +109,7 @@ impl SharedTable {
         let n = next_pow2_at_least(expected * 2, 16);
         SharedTable {
             mask: n as u64 - 1,
-            buckets: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            buckets: (0..n).map(|_| Latch::new(Vec::new())).collect(),
         }
     }
 
@@ -140,7 +144,7 @@ impl SharedTable {
 
     /// Approximate heap footprint in bytes.
     pub fn bytes(&self) -> usize {
-        let fixed = self.buckets.len() * std::mem::size_of::<Mutex<Vec<(Key, Ts)>>>();
+        let fixed = self.buckets.len() * std::mem::size_of::<Latch<Vec<(Key, Ts)>>>();
         let chains: usize = self
             .buckets
             .iter()
@@ -157,7 +161,7 @@ impl SharedTable {
 pub struct StripedTable {
     mask: u64,
     stripe_shift: u32,
-    stripes: Vec<Mutex<()>>,
+    stripes: Vec<Latch<()>>,
     buckets: Vec<std::cell::UnsafeCell<Vec<(Key, Ts)>>>,
 }
 
@@ -176,8 +180,10 @@ impl StripedTable {
         StripedTable {
             mask: n as u64 - 1,
             stripe_shift: (n / s).trailing_zeros(),
-            stripes: (0..s).map(|_| Mutex::new(())).collect(),
-            buckets: (0..n).map(|_| std::cell::UnsafeCell::new(Vec::new())).collect(),
+            stripes: (0..s).map(|_| Latch::new(())).collect(),
+            buckets: (0..n)
+                .map(|_| std::cell::UnsafeCell::new(Vec::new()))
+                .collect(),
         }
     }
 
@@ -226,7 +232,7 @@ impl StripedTable {
 
     /// Approximate heap footprint in bytes.
     pub fn bytes(&self) -> usize {
-        let fixed = self.stripes.len() * std::mem::size_of::<Mutex<()>>()
+        let fixed = self.stripes.len() * std::mem::size_of::<Latch<()>>()
             + self.buckets.len() * std::mem::size_of::<Vec<(Key, Ts)>>();
         let chains: usize = (0..self.buckets.len())
             .map(|b| {

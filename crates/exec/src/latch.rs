@@ -1,0 +1,149 @@
+//! A minimal test-and-test-and-set spin latch.
+//!
+//! The study's tables only hold their latches for a handful of
+//! instructions (push a pair into a bucket chain, scan a short chain), so
+//! a word-sized spin latch is the faithful model — it is what the original
+//! C++ study uses for NPJ's per-bucket latches, and it keeps the workspace
+//! free of external lock crates. Not a general-purpose mutex: waiters
+//! spin (with backoff and `yield_now`), there is no fairness, and
+//! poisoning is not tracked (a panic while holding the latch leaves it
+//! locked, matching spin-lock semantics).
+
+use std::cell::UnsafeCell;
+use std::hint;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A spin latch protecting a `T`, API-compatible with the subset of
+/// `Mutex` the kernels use: `new` + infallible `lock` returning a guard.
+#[derive(Debug, Default)]
+pub struct Latch<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the latch provides the required mutual exclusion; `T: Send` is
+// enough because only one thread can reach the value at a time.
+unsafe impl<T: Send> Send for Latch<T> {}
+unsafe impl<T: Send> Sync for Latch<T> {}
+
+impl<T> Latch<T> {
+    /// A new unlocked latch holding `value`.
+    pub const fn new(value: T) -> Self {
+        Latch {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the latch, spinning until it is free.
+    #[inline]
+    pub fn lock(&self) -> LatchGuard<'_, T> {
+        // Fast path: uncontended acquire.
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_contended();
+        }
+        LatchGuard { latch: self }
+    }
+
+    #[cold]
+    fn lock_contended(&self) {
+        let mut spins = 0u32;
+        loop {
+            // Test before test-and-set: spin on a read-only load so the
+            // cache line stays shared until the latch actually frees.
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < 6 {
+                    for _ in 0..1 << spins {
+                        hint::spin_loop();
+                    }
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Consume the latch, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard; releases the latch on drop.
+pub struct LatchGuard<'a, T> {
+    latch: &'a Latch<T>,
+}
+
+impl<T> Deref for LatchGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves the latch is held.
+        unsafe { &*self.latch.value.get() }
+    }
+}
+
+impl<T> DerefMut for LatchGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard's existence proves the latch is held.
+        unsafe { &mut *self.latch.value.get() }
+    }
+}
+
+impl<T> Drop for LatchGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.latch.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_workers;
+
+    #[test]
+    fn guards_exclusive_access() {
+        let latch = Latch::new(0u64);
+        run_workers(8, |_| {
+            for _ in 0..10_000 {
+                *latch.lock() += 1;
+            }
+        });
+        assert_eq!(*latch.lock(), 80_000);
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut latch = Latch::new(vec![1, 2]);
+        latch.get_mut().push(3);
+        assert_eq!(latch.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reentrant_sequences_work() {
+        let latch = Latch::new(String::new());
+        latch.lock().push('a');
+        latch.lock().push('b');
+        assert_eq!(&*latch.lock(), "ab");
+    }
+}

@@ -21,6 +21,7 @@
 //!   thread-local chained table used by PRJ and SHJ.
 
 pub mod hashtable;
+pub mod latch;
 pub mod merge;
 pub mod mergejoin;
 pub mod pool;
@@ -29,6 +30,7 @@ pub mod sort;
 pub mod timer;
 
 pub use hashtable::{LocalTable, SharedTable, StripedTable};
+pub use latch::Latch;
 pub use pool::run_workers;
 pub use sort::SortBackend;
-pub use timer::{PhaseTimer, NOMINAL_GHZ};
+pub use timer::{ns_to_cycles, PhaseTimer, NOMINAL_GHZ};

@@ -200,7 +200,11 @@ impl<'a> LoserTree<'a> {
     fn build(&mut self, node: usize) -> usize {
         if node >= self.k {
             let leaf = node - self.k;
-            return if leaf < self.runs.len() { leaf } else { usize::MAX };
+            return if leaf < self.runs.len() {
+                leaf
+            } else {
+                usize::MAX
+            };
         }
         let l = self.build(2 * node);
         let r = self.build(2 * node + 1);
@@ -360,7 +364,10 @@ mod tests {
         let refs = [run.as_slice()];
         let splitters = choose_splitters(&refs, 4);
         let bounds = splitter_bounds(&splitters);
-        let total: usize = bounds.iter().map(|&(lo, hi)| run_segment(&run, lo, hi).len()).sum();
+        let total: usize = bounds
+            .iter()
+            .map(|&(lo, hi)| run_segment(&run, lo, hi).len())
+            .sum();
         // [lo, u64::MAX) misses only values equal to u64::MAX, which the
         // >>20 shift in sorted_run rules out.
         assert_eq!(total, run.len());
@@ -388,7 +395,10 @@ mod tests {
         // All sample values equal: at most one distinct splitter.
         assert!(s.len() <= 1);
         let bounds = splitter_bounds(&s);
-        let total: usize = bounds.iter().map(|&(lo, hi)| run_segment(&run, lo, hi).len()).sum();
+        let total: usize = bounds
+            .iter()
+            .map(|&(lo, hi)| run_segment(&run, lo, hi).len())
+            .sum();
         assert_eq!(total, 100);
     }
 }

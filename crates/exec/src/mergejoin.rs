@@ -138,7 +138,10 @@ mod tests {
     use iawj_common::Tuple;
 
     fn packed(pairs: &[(u32, u32)]) -> Vec<u64> {
-        let mut v: Vec<u64> = pairs.iter().map(|&(k, t)| Tuple::new(k, t).pack()).collect();
+        let mut v: Vec<u64> = pairs
+            .iter()
+            .map(|&(k, t)| Tuple::new(k, t).pack())
+            .collect();
         v.sort_unstable();
         v
     }
@@ -186,8 +189,12 @@ mod tests {
     fn matches_nested_loop_reference() {
         use iawj_common::Rng;
         let mut rng = Rng::new(77);
-        let r_t: Vec<Tuple> = (0..200).map(|i| Tuple::new(rng.next_u32() % 32, i)).collect();
-        let s_t: Vec<Tuple> = (0..300).map(|i| Tuple::new(rng.next_u32() % 32, i)).collect();
+        let r_t: Vec<Tuple> = (0..200)
+            .map(|i| Tuple::new(rng.next_u32() % 32, i))
+            .collect();
+        let s_t: Vec<Tuple> = (0..300)
+            .map(|i| Tuple::new(rng.next_u32() % 32, i))
+            .collect();
         let mut expect = Vec::new();
         for rt in &r_t {
             for st in &s_t {
@@ -225,7 +232,9 @@ mod tests {
         let mut rng = Rng::new(9);
         // Two runs per side.
         let mk = |rng: &mut Rng, n: usize| -> Vec<Tuple> {
-            (0..n).map(|i| Tuple::new(rng.next_u32() % 8, i as u32)).collect()
+            (0..n)
+                .map(|i| Tuple::new(rng.next_u32() % 8, i as u32))
+                .collect()
         };
         let r0 = mk(&mut rng, 40);
         let r1 = mk(&mut rng, 40);
@@ -262,12 +271,18 @@ mod tests {
                 .chain(b.iter().map(|t| (t.pack(), 1u32)))
                 .collect();
             pairs.sort_unstable();
-            (pairs.iter().map(|p| p.0).collect(), pairs.iter().map(|p| p.1).collect())
+            (
+                pairs.iter().map(|p| p.0).collect(),
+                pairs.iter().map(|p| p.1).collect(),
+            )
         };
         let (r, rt) = tag_sorted(&r0, &r1);
         let (s, st) = tag_sorted(&s0, &s1);
         merge_join_cross_runs(&r, &rt, &s, &st, |k, a, b| got.push((k, a, b)));
         got.sort_unstable();
-        assert_eq!(got, full, "initial + merge phases must cover the full join exactly once");
+        assert_eq!(
+            got, full,
+            "initial + merge phases must cover the full join exactly once"
+        );
     }
 }

@@ -93,7 +93,9 @@ unsafe impl Send for SharedOut {}
 impl SharedOut {
     /// Zero-filled buffer of `len` tuples.
     pub fn new(len: usize) -> Self {
-        SharedOut { buf: std::cell::UnsafeCell::new(vec![Tuple::default(); len]) }
+        SharedOut {
+            buf: std::cell::UnsafeCell::new(vec![Tuple::default(); len]),
+        }
     }
 
     /// Write one slot.
@@ -149,7 +151,13 @@ impl ScatterPlan {
             }
             bounds.push(acc);
         }
-        ScatterPlan { bounds, starts, fanout: f, shift, bits }
+        ScatterPlan {
+            bounds,
+            starts,
+            fanout: f,
+            shift,
+            bits,
+        }
     }
 
     /// Total tuples the plan accounts for.
@@ -221,7 +229,11 @@ pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usiz
 
     // Step 1: per-thread histograms over contiguous input chunks.
     let hists: Vec<Vec<u32>> = run_workers(threads, |tid| {
-        histogram(&tuples[chunk_range(tuples.len(), threads, tid)], shift, bits)
+        histogram(
+            &tuples[chunk_range(tuples.len(), threads, tid)],
+            shift,
+            bits,
+        )
     });
 
     // Step 2: global partition bounds and per-(thread, partition) start
@@ -235,21 +247,23 @@ pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usiz
     let plan_ref = &plan;
     let out_ref = &out;
     run_workers(threads, |tid| {
-        plan_ref.scatter_chunk(&tuples[chunk_range(tuples.len(), threads, tid)], tid, out_ref);
+        plan_ref.scatter_chunk(
+            &tuples[chunk_range(tuples.len(), threads, tid)],
+            tid,
+            out_ref,
+        );
     });
-    Partitioned { data: out.into_vec(), bounds: plan.bounds }
+    Partitioned {
+        data: out.into_vec(),
+        bounds: plan.bounds,
+    }
 }
 
 /// Two-pass recursive partitioning: first pass on the low `bits1` key bits,
 /// then each first-pass partition is re-partitioned on the next `bits2`
 /// bits. This is how PRJ keeps the first-pass fan-out within TLB reach while
 /// still producing cache-sized final partitions (Balkesen et al.).
-pub fn partition_two_pass(
-    tuples: &[Tuple],
-    bits1: u32,
-    bits2: u32,
-    threads: usize,
-) -> Partitioned {
+pub fn partition_two_pass(tuples: &[Tuple], bits1: u32, bits2: u32, threads: usize) -> Partitioned {
     let first = partition_parallel(tuples, 0, bits1, threads);
     if bits2 == 0 {
         return first;
@@ -291,7 +305,10 @@ pub fn partition_seq_buffered(tuples: &[Tuple], shift: u32, bits: u32) -> Partit
     let plan = ScatterPlan::from_histograms(std::slice::from_ref(&hist), shift, bits);
     let out = SharedOut::new(tuples.len());
     plan.scatter_chunk_buffered(tuples, 0, &out);
-    Partitioned { data: out.into_vec(), bounds: plan.bounds }
+    Partitioned {
+        data: out.into_vec(),
+        bounds: plan.bounds,
+    }
 }
 
 #[cfg(test)]
@@ -395,7 +412,12 @@ mod tests {
 
     #[test]
     fn buffered_scatter_equals_plain() {
-        for (n, keys, bits) in [(5000usize, 1u32 << 12, 8u32), (100, 16, 4), (7, 4, 2), (0, 4, 2)] {
+        for (n, keys, bits) in [
+            (5000usize, 1u32 << 12, 8u32),
+            (100, 16, 4),
+            (7, 4, 2),
+            (0, 4, 2),
+        ] {
             let input = random_tuples(n, keys.max(1), n as u64 + 9);
             let plain = partition_seq(&input, 0, bits);
             let buffered = partition_seq_buffered(&input, 0, bits);
@@ -411,7 +433,13 @@ mod tests {
         let input = random_tuples(4096, 1 << 10, 77);
         let threads = 4;
         let hists: Vec<Vec<u32>> = (0..threads)
-            .map(|t| histogram(&input[crate::pool::chunk_range(input.len(), threads, t)], 0, 6))
+            .map(|t| {
+                histogram(
+                    &input[crate::pool::chunk_range(input.len(), threads, t)],
+                    0,
+                    6,
+                )
+            })
             .collect();
         let plan = ScatterPlan::from_histograms(&hists, 0, 6);
         let out = SharedOut::new(input.len());

@@ -7,6 +7,7 @@
 //! same nominal frequency so the harness axes are comparable.
 
 use iawj_common::{Phase, PhaseBreakdown};
+use iawj_obs::SpanJournal;
 use std::time::Instant;
 
 /// Nominal clock of the paper's Xeon Gold 6126, for ns → cycle conversion.
@@ -14,20 +15,41 @@ pub const NOMINAL_GHZ: f64 = 2.6;
 
 /// Accumulates wall time into the six breakdown phases. One per worker
 /// thread; exactly one phase is "open" at any moment.
+///
+/// When constructed with [`PhaseTimer::with_journal`], every closed phase
+/// interval is also recorded as a span in the worker's [`SpanJournal`]
+/// (and [`PhaseTimer::instant`] records point events), which is what the
+/// Chrome-trace exporter visualises. The plain [`PhaseTimer::start`]
+/// constructor carries a disabled journal, whose record calls are a
+/// single branch — nothing is allocated and the hot path is unchanged.
 #[derive(Debug)]
 pub struct PhaseTimer {
     breakdown: PhaseBreakdown,
     current: Phase,
     since: Instant,
+    journal: SpanJournal,
 }
 
 impl PhaseTimer {
-    /// Start timing in the given phase.
+    /// Start timing in the given phase, without journaling.
     pub fn start(initial: Phase) -> Self {
+        let now = Instant::now();
+        PhaseTimer {
+            breakdown: PhaseBreakdown::zero(),
+            current: initial,
+            since: now,
+            journal: SpanJournal::disabled(now),
+        }
+    }
+
+    /// Start timing in the given phase, recording phase spans into
+    /// `journal` as they close.
+    pub fn with_journal(initial: Phase, journal: SpanJournal) -> Self {
         PhaseTimer {
             breakdown: PhaseBreakdown::zero(),
             current: initial,
             since: Instant::now(),
+            journal,
         }
     }
 
@@ -42,8 +64,19 @@ impl PhaseTimer {
         let now = Instant::now();
         self.breakdown
             .add_ns(self.current, (now - self.since).as_nanos() as u64);
+        self.journal
+            .record_span(self.current.label(), self.since, now);
         self.current = next;
         self.since = now;
+    }
+
+    /// Record an instant event (barrier release, merge-pass boundary,
+    /// window flush) in the journal. No-op without a journal.
+    #[inline]
+    pub fn instant(&mut self, name: &'static str) {
+        if self.journal.enabled() {
+            self.journal.mark(name, Instant::now());
+        }
     }
 
     /// The phase currently being timed.
@@ -52,11 +85,19 @@ impl PhaseTimer {
     }
 
     /// Close the open phase and return the final breakdown.
-    pub fn finish(mut self) -> PhaseBreakdown {
+    pub fn finish(self) -> PhaseBreakdown {
+        self.finish_parts().0
+    }
+
+    /// Close the open phase and return both the breakdown and the journal
+    /// (empty and disabled unless built via [`PhaseTimer::with_journal`]).
+    pub fn finish_parts(mut self) -> (PhaseBreakdown, SpanJournal) {
         let now = Instant::now();
         self.breakdown
             .add_ns(self.current, (now - self.since).as_nanos() as u64);
-        self.breakdown
+        self.journal
+            .record_span(self.current.label(), self.since, now);
+        (self.breakdown, self.journal)
     }
 
     /// Time `f` against a specific phase, then return to the previous phase.
@@ -113,5 +154,38 @@ mod tests {
     #[test]
     fn cycles_conversion() {
         assert!((ns_to_cycles(1000) - 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journaled_timer_emits_one_span_per_phase_interval() {
+        use iawj_obs::SpanJournal;
+        let epoch = Instant::now();
+        let mut t = PhaseTimer::with_journal(Phase::Wait, SpanJournal::with_capacity(epoch, 64));
+        t.switch_to(Phase::BuildSort);
+        t.instant("barrier:build_done");
+        t.switch_to(Phase::Probe);
+        let (breakdown, journal) = t.finish_parts();
+        let spans = journal.spans();
+        assert_eq!(
+            spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["wait", "build/sort", "probe"]
+        );
+        // Spans tile the run: each begins where the previous ended.
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].begin_ns);
+        }
+        assert_eq!(journal.marks().len(), 1);
+        assert!(breakdown.total_ns() > 0);
+    }
+
+    #[test]
+    fn plain_timer_journal_stays_empty() {
+        let mut t = PhaseTimer::start(Phase::Wait);
+        t.switch_to(Phase::Probe);
+        t.instant("ignored");
+        let (_, journal) = t.finish_parts();
+        assert!(!journal.enabled());
+        assert_eq!(journal.span_count(), 0);
+        assert_eq!(journal.mark_count(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests of the kernel layer: the invariants every join
 //! algorithm silently relies on.
 
+use iawj_common::Tuple;
 use iawj_exec::hashtable::{LocalTable, SharedTable};
 use iawj_exec::merge::{
     choose_splitters, kway_merge, kway_merge_loser, kway_merge_tagged, merge_two_into,
@@ -8,7 +9,6 @@ use iawj_exec::merge::{
 };
 use iawj_exec::radix::{partition_two_pass, Partitioned};
 use iawj_exec::sort::{sort_packed, SortBackend};
-use iawj_common::Tuple;
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -1,0 +1,145 @@
+//! Chrome Trace Event Format exporter.
+//!
+//! Produces the JSON object form of the [Trace Event Format] consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one `"X"`
+//! (complete) event per journal span, one `"i"` (instant) event per mark,
+//! and an `"M"` (metadata) event naming each worker lane. Timestamps are
+//! microseconds with sub-microsecond precision, relative to the shared
+//! journal epoch.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::journal::SpanJournal;
+use crate::json;
+
+const PID: u64 = 1;
+
+fn push_common(out: &mut String, name: &str, ph: &str, tid: usize) {
+    out.push_str("{\"name\":");
+    json::write_str(out, name);
+    out.push_str(",\"ph\":");
+    json::write_str(out, ph);
+    out.push_str(&format!(",\"pid\":{PID},\"tid\":{tid}"));
+}
+
+fn push_ts(out: &mut String, ns: u64) {
+    out.push_str(",\"ts\":");
+    // µs with ns precision; format directly to avoid float rounding drift.
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+/// Render the journals of all workers as one Chrome-trace JSON document.
+///
+/// `journals` pairs each worker id (the lane / `tid`) with its journal.
+/// The output is a complete JSON object — write it to a file and load it
+/// in `chrome://tracing` or Perfetto as-is.
+pub fn chrome_trace(journals: &[(usize, &SpanJournal)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+    for &(tid, journal) in journals {
+        sep(&mut out);
+        push_common(&mut out, "thread_name", "M", tid);
+        out.push_str(&format!(",\"args\":{{\"name\":\"worker {tid}\"}}}}"));
+        for span in journal.spans() {
+            sep(&mut out);
+            push_common(&mut out, span.name, "X", tid);
+            push_ts(&mut out, span.begin_ns);
+            let dur = span.end_ns.saturating_sub(span.begin_ns);
+            out.push_str(&format!(",\"dur\":{}.{:03}}}", dur / 1_000, dur % 1_000));
+        }
+        for mark in journal.marks() {
+            sep(&mut out);
+            push_common(&mut out, mark.name, "i", tid);
+            push_ts(&mut out, mark.at_ns);
+            out.push_str(",\"s\":\"t\"}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::time::{Duration, Instant};
+
+    fn journal_with(epoch: Instant, spans: &[(&'static str, u64, u64)]) -> SpanJournal {
+        let mut j = SpanJournal::with_capacity(epoch, 16);
+        for &(name, b, e) in spans {
+            j.record_span(
+                name,
+                epoch + Duration::from_nanos(b),
+                epoch + Duration::from_nanos(e),
+            );
+        }
+        j
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let doc = Json::parse(&chrome_trace(&[])).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").and_then(Json::as_arr).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn emits_metadata_span_and_instant_events() {
+        let epoch = Instant::now();
+        let mut j = journal_with(epoch, &[("probe", 1_500, 4_500)]);
+        j.mark("barrier:build_done", epoch + Duration::from_nanos(1_500));
+        let doc = Json::parse(&chrome_trace(&[(3, &j)])).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 3);
+
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("worker 3")
+        );
+
+        let span = &events[1];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("probe"));
+        assert_eq!(span.get("tid").and_then(Json::as_u64), Some(3));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(3.0));
+
+        let mark = &events[2];
+        assert_eq!(mark.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            mark.get("name").and_then(Json::as_str),
+            Some("barrier:build_done")
+        );
+        assert_eq!(mark.get("ts").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn one_lane_per_worker() {
+        let epoch = Instant::now();
+        let j0 = journal_with(epoch, &[("build/sort", 0, 10)]);
+        let j1 = journal_with(epoch, &[("build/sort", 0, 12)]);
+        let doc = Json::parse(&chrome_trace(&[(0, &j0), (1, &j1)])).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(tids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-worker span journal.
+//!
+//! Each worker owns one [`SpanJournal`]: a preallocated ring buffer of
+//! `(name, begin_ns, end_ns)` spans plus instant [`Mark`]s (barrier
+//! releases, merge-pass boundaries, window flushes). All timestamps are
+//! nanoseconds since a shared epoch `Instant` so the lanes of every worker
+//! line up in one trace. A journal built with [`SpanJournal::disabled`]
+//! allocates nothing and rejects records with a single branch, which is
+//! what makes it safe to thread through the kernel hot paths
+//! unconditionally.
+
+use std::time::Instant;
+
+/// One closed interval of work attributed to a named phase or activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Static label, typically a `Phase::label()` like `"probe"`.
+    pub name: &'static str,
+    /// Nanoseconds since the journal epoch at which the span began.
+    pub begin_ns: u64,
+    /// Nanoseconds since the journal epoch at which the span ended.
+    pub end_ns: u64,
+}
+
+/// A point event: something that happened, with no duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mark {
+    /// Static label, e.g. `"barrier:build_done"` or `"merge-pass"`.
+    pub name: &'static str,
+    /// Nanoseconds since the journal epoch.
+    pub at_ns: u64,
+}
+
+/// A bounded journal of [`Span`]s and [`Mark`]s for one worker.
+///
+/// When the ring is full the oldest entries are overwritten and counted in
+/// [`SpanJournal::dropped`], so a runaway phase loop cannot grow memory.
+#[derive(Clone, Debug)]
+pub struct SpanJournal {
+    epoch: Instant,
+    spans: Vec<Span>,
+    marks: Vec<Mark>,
+    cap: usize,
+    span_head: usize,
+    mark_head: usize,
+    dropped: u64,
+}
+
+impl SpanJournal {
+    /// A journal with room for `cap` spans and `cap` marks, all timestamps
+    /// relative to `epoch`. `cap == 0` yields a disabled journal.
+    pub fn with_capacity(epoch: Instant, cap: usize) -> Self {
+        Self {
+            epoch,
+            spans: Vec::with_capacity(cap),
+            marks: Vec::with_capacity(cap),
+            cap,
+            span_head: 0,
+            mark_head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled journal: no allocation, every record is a no-op.
+    pub fn disabled(epoch: Instant) -> Self {
+        Self::with_capacity(epoch, 0)
+    }
+
+    /// Is this journal recording?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cap != 0
+    }
+
+    /// The shared time origin.
+    #[inline]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds since the epoch (0 for instants predating it).
+    #[inline]
+    pub fn elapsed_ns(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Record one span. No-op when disabled; overwrites the oldest entry
+    /// when full.
+    #[inline]
+    pub fn record_span(&mut self, name: &'static str, begin: Instant, end: Instant) {
+        if self.cap == 0 {
+            return;
+        }
+        let span = Span {
+            name,
+            begin_ns: self.elapsed_ns(begin),
+            end_ns: self.elapsed_ns(end),
+        };
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.spans[self.span_head] = span;
+            self.span_head = (self.span_head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Record one instant mark. No-op when disabled; overwrites the oldest
+    /// entry when full.
+    #[inline]
+    pub fn mark(&mut self, name: &'static str, at: Instant) {
+        if self.cap == 0 {
+            return;
+        }
+        let mark = Mark {
+            name,
+            at_ns: self.elapsed_ns(at),
+        };
+        if self.marks.len() < self.cap {
+            self.marks.push(mark);
+        } else {
+            self.marks[self.mark_head] = mark;
+            self.mark_head = (self.mark_head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained spans in chronological order.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.span_head..]);
+        out.extend_from_slice(&self.spans[..self.span_head]);
+        out
+    }
+
+    /// Retained marks in chronological order.
+    pub fn marks(&self) -> Vec<Mark> {
+        let mut out = Vec::with_capacity(self.marks.len());
+        out.extend_from_slice(&self.marks[self.mark_head..]);
+        out.extend_from_slice(&self.marks[..self.mark_head]);
+        out
+    }
+
+    /// Number of retained spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of retained marks.
+    pub fn mark_count(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Entries overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(epoch: Instant, ns: u64) -> Instant {
+        epoch + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_journal_allocates_nothing() {
+        let mut j = SpanJournal::disabled(Instant::now());
+        assert!(!j.enabled());
+        let t = Instant::now();
+        j.record_span("probe", t, t);
+        j.mark("flush", t);
+        assert_eq!(j.span_count(), 0);
+        assert_eq!(j.mark_count(), 0);
+        assert_eq!(j.spans.capacity(), 0);
+        assert_eq!(j.marks.capacity(), 0);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn records_relative_to_epoch() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 8);
+        j.record_span("build/sort", at(epoch, 100), at(epoch, 250));
+        j.mark("barrier:build_done", at(epoch, 250));
+        let spans = j.spans();
+        assert_eq!(
+            spans,
+            vec![Span {
+                name: "build/sort",
+                begin_ns: 100,
+                end_ns: 250
+            }]
+        );
+        assert_eq!(
+            j.marks(),
+            vec![Mark {
+                name: "barrier:build_done",
+                at_ns: 250
+            }]
+        );
+    }
+
+    #[test]
+    fn pre_epoch_instants_clamp_to_zero() {
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 4);
+        j.record_span("wait", early, at(epoch, 10));
+        assert_eq!(j.spans()[0].begin_ns, 0);
+        assert_eq!(j.spans()[0].end_ns, 10);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 3);
+        for i in 0..5u64 {
+            j.record_span("probe", at(epoch, i * 10), at(epoch, i * 10 + 5));
+        }
+        let spans = j.spans();
+        assert_eq!(spans.len(), 3);
+        // Oldest two (begin 0, 10) were overwritten; order stays chronological.
+        assert_eq!(
+            spans.iter().map(|s| s.begin_ns).collect::<Vec<_>>(),
+            vec![20, 30, 40]
+        );
+        assert_eq!(j.dropped(), 2);
+    }
+
+    #[test]
+    fn capacity_is_preallocated_once() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 16);
+        let cap_before = j.spans.capacity();
+        for i in 0..64u64 {
+            j.record_span("partition", at(epoch, i), at(epoch, i + 1));
+            j.mark("pass", at(epoch, i));
+        }
+        assert_eq!(j.spans.capacity(), cap_before, "ring must not reallocate");
+        assert_eq!(j.span_count(), 16);
+        assert_eq!(j.mark_count(), 16);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # iawj-obs
+//!
+//! The study's observability layer — the instrumentation behind the paper's
+//! decomposed measurements (§5.3 time breakdown, per-phase attribution,
+//! CPU-utilisation timelines), made first-class:
+//!
+//! - [`SpanJournal`] — a low-overhead per-worker journal of `(name,
+//!   begin_ns, end_ns)` span events plus instant marks (barrier releases,
+//!   merge-pass boundaries, window flushes). Ring-buffered over a
+//!   preallocated buffer; a disabled journal allocates nothing and every
+//!   record call is a single predictable branch.
+//! - [`LogHistogram`] — an HDR-style log-bucketed histogram with ≤ 1%
+//!   relative error, mergeable across workers, so latency quantiles are
+//!   computed over *every* match instead of a sampled subset.
+//! - [`chrome_trace`] — Chrome Trace Event Format export (open the file in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see one
+//!   timeline lane per worker).
+//! - [`json`] — a dependency-free JSON writer/parser used by the exporters
+//!   and their tests.
+//! - [`report`] — the human-readable Figure-7-style phase breakdown table.
+//!
+//! This crate is deliberately dependency-free (it sits below `iawj-common`
+//! so the match sink can embed a histogram).
+
+pub mod chrome;
+pub mod hist;
+pub mod journal;
+pub mod json;
+pub mod report;
+
+pub use chrome::chrome_trace;
+pub use hist::LogHistogram;
+pub use journal::{Mark, Span, SpanJournal};
+pub use report::{breakdown_table, PhaseRow};

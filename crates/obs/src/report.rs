@@ -1,0 +1,117 @@
+//! Human-readable Figure-7-style phase breakdown table.
+//!
+//! The paper's Figure 7 decomposes each algorithm's runtime into the six
+//! phases (wait, partition, build/sort, merge, probe, others). This module
+//! renders the same decomposition as an aligned text table with absolute
+//! time, share of busy time, cycle counts at a nominal clock, and the
+//! min/max skew across workers.
+
+/// One table row: a phase aggregated across all workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Phase label, e.g. `"probe"`.
+    pub label: &'static str,
+    /// Sum of this phase's nanoseconds across all workers.
+    pub total_ns: u64,
+    /// Smallest per-worker time in this phase.
+    pub min_ns: u64,
+    /// Largest per-worker time in this phase.
+    pub max_ns: u64,
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render `rows` as an aligned table. `ghz` is the nominal clock used for
+/// the cycles column (the study uses 2.6 GHz). Shares are relative to the
+/// sum of all rows, so with the wait row included they show utilisation
+/// and without it they reproduce the paper's busy-time breakdown.
+pub fn breakdown_table(rows: &[PhaseRow], ghz: f64) -> String {
+    let total: u64 = rows.iter().map(|r| r.total_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>8} {:>14} {:>12} {:>12}\n",
+        "phase", "total ms", "share", "cycles", "min/wkr ms", "max/wkr ms"
+    ));
+    for r in rows {
+        let share = if total > 0 {
+            r.total_ns as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let cycles = r.total_ns as f64 * ghz;
+        let cycles = if cycles >= 1e9 {
+            format!("{:.2}G", cycles / 1e9)
+        } else {
+            format!("{:.2}M", cycles / 1e6)
+        };
+        out.push_str(&format!(
+            "  {:<12} {:>12} {:>7.1}% {:>14} {:>12} {:>12}\n",
+            r.label,
+            fmt_ms(r.total_ns),
+            share,
+            cycles,
+            fmt_ms(r.min_ns),
+            fmt_ms(r.max_ns),
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>7.1}%\n",
+        "total",
+        fmt_ms(total),
+        if total > 0 { 100.0 } else { 0.0 }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_rows_plus_total() {
+        let rows = [
+            PhaseRow {
+                label: "wait",
+                total_ns: 1_000_000,
+                min_ns: 400_000,
+                max_ns: 600_000,
+            },
+            PhaseRow {
+                label: "probe",
+                total_ns: 3_000_000,
+                min_ns: 1_400_000,
+                max_ns: 1_600_000,
+            },
+        ];
+        let table = breakdown_table(&rows, 2.6);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 rows + total
+        assert!(lines[1].contains("wait"));
+        assert!(lines[1].contains("25.0%"));
+        assert!(lines[2].contains("probe"));
+        assert!(lines[2].contains("75.0%"));
+        assert!(lines[2].contains("7.80M")); // 3ms * 2.6GHz
+        assert!(lines[3].contains("total"));
+        assert!(lines[3].contains("4.000"));
+    }
+
+    #[test]
+    fn empty_rows_do_not_divide_by_zero() {
+        let table = breakdown_table(&[], 2.6);
+        assert!(table.contains("total"));
+        assert!(table.contains("0.0%"));
+    }
+
+    #[test]
+    fn large_cycle_counts_use_giga_suffix() {
+        let rows = [PhaseRow {
+            label: "merge",
+            total_ns: 2_000_000_000,
+            min_ns: 0,
+            max_ns: 0,
+        }];
+        assert!(breakdown_table(&rows, 2.6).contains("5.20G"));
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
             "bursty dedup feed",
             MicroSpec::static_counts(40_000, 40_000).dupe(80).seed(2),
         ),
-        ("unique-key firehose", MicroSpec::static_counts(120_000, 120_000).seed(3)),
+        (
+            "unique-key firehose",
+            MicroSpec::static_counts(120_000, 120_000).seed(3),
+        ),
     ];
 
     for (label, spec) in scenarios {

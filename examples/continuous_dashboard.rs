@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example continuous_dashboard`
 
+use iawj_study::common::{Rng, Tuple};
 use iawj_study::core::windowing::{execute_windowed, WindowSpec};
 use iawj_study::core::{Algorithm, RunConfig};
-use iawj_study::common::{Rng, Tuple};
 
 /// Two bursts of activity with a quiet gap — realistic session structure.
 fn bursty_stream(seed: u64, users: u32) -> Vec<Tuple> {
@@ -71,5 +71,9 @@ fn main() {
             w.result.matches
         );
     }
-    assert_eq!(sessions.len(), 2, "the quiet gap must split the data into two sessions");
+    assert_eq!(
+        sessions.len(),
+        2,
+        "the quiet gap must split the data into two sessions"
+    );
 }

@@ -28,7 +28,9 @@ fn main() {
         dupe: 20.0,
         skew_key: 0.0,
         total_tuples: dataset.total_inputs(),
-        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     };
     let algorithm = recommend_default(&descriptor, Objective::Throughput);
     println!("decision tree picks: {algorithm}");

@@ -36,6 +36,7 @@ pub use iawj_common as common;
 pub use iawj_core as core;
 pub use iawj_datagen as datagen;
 pub use iawj_exec as exec;
+pub use iawj_obs as obs;
 
 /// Crate version of the study facade.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

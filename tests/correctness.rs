@@ -8,7 +8,11 @@ use iawj_study::core::{execute, Algorithm, RunConfig};
 use iawj_study::datagen::{Dataset, MicroSpec};
 
 fn canonical(result: &iawj_study::core::RunResult) -> Vec<(u32, u32, u32)> {
-    let mut v: Vec<_> = result.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)).collect();
+    let mut v: Vec<_> = result
+        .samples
+        .iter()
+        .map(|m| (m.key, m.r_ts, m.s_ts))
+        .collect();
     v.sort_unstable();
     v
 }
@@ -34,13 +38,20 @@ fn static_unique_keys() {
 
 #[test]
 fn static_heavy_duplication() {
-    let ds = MicroSpec::static_counts(600, 600).dupe(60).seed(2).generate();
+    let ds = MicroSpec::static_counts(600, 600)
+        .dupe(60)
+        .seed(2)
+        .generate();
     assert_all_algorithms_exact(&ds, 4, "static dupe=60");
 }
 
 #[test]
 fn static_skewed_keys() {
-    let ds = MicroSpec::static_counts(1500, 1500).dupe(10).skew_key(1.4).seed(3).generate();
+    let ds = MicroSpec::static_counts(1500, 1500)
+        .dupe(10)
+        .skew_key(1.4)
+        .seed(3)
+        .generate();
     assert_all_algorithms_exact(&ds, 3, "static zipf keys");
 }
 
@@ -52,21 +63,34 @@ fn streaming_uniform() {
 
 #[test]
 fn streaming_skewed_arrivals() {
-    let ds = MicroSpec::with_rates(2.0, 2.0).dupe(2).skew_ts(1.6).seed(5).generate();
+    let ds = MicroSpec::with_rates(2.0, 2.0)
+        .dupe(2)
+        .skew_ts(1.6)
+        .seed(5)
+        .generate();
     assert_all_algorithms_exact(&ds, 4, "streaming zipf arrivals");
 }
 
 #[test]
 fn asymmetric_cardinalities() {
-    let ds = MicroSpec::static_counts(50, 3000).dupe(5).seed(6).generate();
+    let ds = MicroSpec::static_counts(50, 3000)
+        .dupe(5)
+        .seed(6)
+        .generate();
     assert_all_algorithms_exact(&ds, 4, "tiny R, large S");
-    let ds = MicroSpec::static_counts(3000, 50).dupe(5).seed(7).generate();
+    let ds = MicroSpec::static_counts(3000, 50)
+        .dupe(5)
+        .seed(7)
+        .generate();
     assert_all_algorithms_exact(&ds, 4, "large R, tiny S");
 }
 
 #[test]
 fn single_and_many_threads() {
-    let ds = MicroSpec::static_counts(800, 800).dupe(8).seed(8).generate();
+    let ds = MicroSpec::static_counts(800, 800)
+        .dupe(8)
+        .seed(8)
+        .generate();
     for threads in [1usize, 2, 5, 8] {
         assert_all_algorithms_exact(&ds, threads, "thread sweep");
     }
@@ -74,7 +98,10 @@ fn single_and_many_threads() {
 
 #[test]
 fn handshake_strawman_exact() {
-    let ds = MicroSpec::static_counts(500, 500).dupe(10).seed(9).generate();
+    let ds = MicroSpec::static_counts(500, 500)
+        .dupe(10)
+        .seed(9)
+        .generate();
     let expect = match_count(&ds.r, &ds.s, ds.window);
     for threads in [1usize, 3, 4] {
         let cfg = RunConfig::with_threads(threads).record_all();
@@ -88,7 +115,12 @@ fn real_workload_counts_agree_across_algorithms() {
     // The four real-world generators at tiny scale: all algorithms must
     // count the same number of matches.
     use iawj_study::datagen::{debs, rovio, stock, ysb};
-    for ds in [stock(0.02, 3), rovio(0.001, 3), ysb(0.001, 3), debs(0.005, 3)] {
+    for ds in [
+        stock(0.02, 3),
+        rovio(0.001, 3),
+        ysb(0.001, 3),
+        debs(0.005, 3),
+    ] {
         let expect = match_count(&ds.r, &ds.s, ds.window);
         for algo in Algorithm::STUDIED {
             let cfg = RunConfig::with_threads(4).speedup(500.0);

@@ -47,7 +47,10 @@ fn rovio_full_scale_rates_get_lazy_sorts() {
         cores: 8,
     };
     // Medium rate + high duplication -> PMJ^JB per the tree.
-    assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::PmjJb);
+    assert_eq!(
+        recommend_default(&w, Objective::Throughput),
+        Algorithm::PmjJb
+    );
 }
 
 #[test]
@@ -61,7 +64,10 @@ fn ysb_full_scale_gets_lazy_hash() {
         cores: 8,
     };
     let pick = recommend_default(&w, Objective::Throughput);
-    assert!(matches!(pick, Algorithm::Npj | Algorithm::Prj), "got {pick}");
+    assert!(
+        matches!(pick, Algorithm::Npj | Algorithm::Prj),
+        "got {pick}"
+    );
 }
 
 #[test]
@@ -99,7 +105,10 @@ fn trace_ysb_partition_misses_highest_for_jb() {
 #[test]
 fn eager_core_bound_exceeds_lazy() {
     use iawj_study::cachesim::CostModel;
-    let ds = MicroSpec::static_counts(5000, 5000).dupe(10).seed(5).generate();
+    let ds = MicroSpec::static_counts(5000, 5000)
+        .dupe(10)
+        .seed(5)
+        .generate();
     let cfg = RunConfig::with_threads(4);
     let model = CostModel::default();
     let lazy = trace::profile(Algorithm::MPass, &ds, &cfg).estimate(&model);

@@ -2,10 +2,10 @@
 //! operator, the windowing layer, and the adaptive dispatcher — including
 //! property-based checks that they never disagree with the oracle.
 
+use iawj_study::common::{Tuple, Window};
 use iawj_study::core::reference::{match_count, nested_loop_join};
 use iawj_study::core::windowing::{execute_windowed, windows_for, WindowSpec};
 use iawj_study::core::{execute, Algorithm, RunConfig};
-use iawj_study::common::{Tuple, Window};
 use iawj_study::datagen::MicroSpec;
 use proptest::prelude::*;
 
@@ -84,10 +84,12 @@ proptest! {
 #[test]
 fn hybrid_progressiveness_tracks_shj_under_light_load() {
     use iawj_study::core::metrics::time_to_fraction_ms;
-    // Slow streams, heavily compressed: both eager operators deliver
-    // matches inside the window while NPJ waits it out.
+    // Slow streams, moderately compressed: both eager operators deliver
+    // matches inside the window while NPJ waits it out. (At much higher
+    // compression the eager workers become CPU-bound on a time-sliced
+    // host and their mid-window head start shrinks to scheduler noise.)
     let ds = MicroSpec::with_rates(10.0, 10.0).dupe(2).seed(9).generate();
-    let cfg = RunConfig::with_threads(2).record_all().speedup(200.0);
+    let cfg = RunConfig::with_threads(2).record_all().speedup(50.0);
     let shj = execute(Algorithm::ShjJm, &ds, &cfg);
     let hybrid = execute(Algorithm::HybridShj, &ds, &cfg);
     let lazy = execute(Algorithm::Npj, &ds, &cfg);
@@ -116,7 +118,10 @@ fn windowed_runs_rebase_timestamps() {
         &cfg,
     );
     let total: u64 = out.iter().map(|w| w.result.matches).sum();
-    assert_eq!(total, nested_loop_join(&r, &s, Window::of_len(1200)).len() as u64);
+    assert_eq!(
+        total,
+        nested_loop_join(&r, &s, Window::of_len(1200)).len() as u64
+    );
 }
 
 #[test]

@@ -25,7 +25,10 @@ fn progressiveness_is_monotone_and_complete() {
             "{algo}: fractions must be non-decreasing"
         );
         let last = curve.last().unwrap();
-        assert!((last.1 - 1.0).abs() < 1e-9, "{algo}: curve must end at 100%");
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "{algo}: curve must end at 100%"
+        );
         let t50 = time_to_fraction_ms(&res, 0.5).expect("50% point exists");
         assert!(t50 <= last.0 + 1e-9);
     }
@@ -64,7 +67,10 @@ fn eager_beats_lazy_on_latency_for_slow_streams() {
 
 #[test]
 fn breakdown_phases_are_consistent() {
-    let ds = MicroSpec::static_counts(5000, 5000).dupe(8).seed(23).generate();
+    let ds = MicroSpec::static_counts(5000, 5000)
+        .dupe(8)
+        .seed(23)
+        .generate();
     for algo in Algorithm::STUDIED {
         let cfg = RunConfig::with_threads(2);
         let res = execute(algo, &ds, &cfg);
@@ -73,7 +79,10 @@ fn breakdown_phases_are_consistent() {
         let sum: u64 = PHASES.iter().map(|&p| res.breakdown[p]).sum();
         assert_eq!(sum, total);
         if algo.is_sort_based() {
-            assert!(res.breakdown[Phase::BuildSort] > 0, "{algo}: sort time missing");
+            assert!(
+                res.breakdown[Phase::BuildSort] > 0,
+                "{algo}: sort time missing"
+            );
         }
         // Per-thread breakdowns sum to the merged one.
         let per: u64 = res.per_thread.iter().map(|b| b.total_ns()).sum();
@@ -83,7 +92,10 @@ fn breakdown_phases_are_consistent() {
 
 #[test]
 fn memory_gauge_produces_a_curve() {
-    let ds = MicroSpec::static_counts(20_000, 20_000).dupe(4).seed(24).generate();
+    let ds = MicroSpec::static_counts(20_000, 20_000)
+        .dupe(4)
+        .seed(24)
+        .generate();
     let mut cfg = RunConfig::with_threads(2);
     cfg.mem_sample_every = 512;
     for algo in [Algorithm::ShjJm, Algorithm::PmjJb] {

@@ -8,7 +8,10 @@ use iawj_study::datagen::{rovio, MicroSpec};
 #[test]
 #[ignore = "large input; run with --ignored in release mode"]
 fn million_tuple_static_join_all_algorithms() {
-    let ds = MicroSpec::static_counts(500_000, 500_000).dupe(20).seed(1).generate();
+    let ds = MicroSpec::static_counts(500_000, 500_000)
+        .dupe(20)
+        .seed(1)
+        .generate();
     let expect = match_count(&ds.r, &ds.s, ds.window);
     for algo in Algorithm::STUDIED {
         let cfg = RunConfig::with_threads(4);
@@ -33,7 +36,10 @@ fn rovio_at_five_percent_scale() {
 #[test]
 #[ignore = "long-running; exercises many mid-stream hybrid flushes"]
 fn hybrid_under_sustained_pressure() {
-    let ds = MicroSpec::static_counts(2_000_000, 2_000_000).dupe(4).seed(2).generate();
+    let ds = MicroSpec::static_counts(2_000_000, 2_000_000)
+        .dupe(4)
+        .seed(2)
+        .generate();
     let expect = match_count(&ds.r, &ds.s, ds.window);
     let cfg = RunConfig::with_threads(4);
     let result = execute(Algorithm::HybridShj, &ds, &cfg);

@@ -1,0 +1,121 @@
+//! Golden-shape test for the observability pipeline: a journaled 2-thread
+//! NPJ run must export a well-formed Chrome trace with one lane per worker,
+//! non-overlapping spans per lane, and a histogram that agrees with the
+//! sampled latencies.
+
+use iawj_study::core::{execute, metrics, Algorithm, RunConfig};
+use iawj_study::datagen::MicroSpec;
+use iawj_study::obs::json::Json;
+
+fn journaled_npj_run() -> iawj_study::core::RunResult {
+    let ds = MicroSpec::static_counts(3000, 3000)
+        .dupe(4)
+        .seed(11)
+        .generate();
+    let mut cfg = RunConfig::with_threads(2).record_all();
+    cfg.journal = true;
+    execute(Algorithm::Npj, &ds, &cfg)
+}
+
+#[test]
+fn npj_chrome_trace_is_well_formed() {
+    let r = journaled_npj_run();
+    assert_eq!(r.journals.len(), 2, "both workers journal");
+    let doc = Json::parse(&r.chrome_trace()).expect("trace is valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    // One metadata (thread_name) event and at least one complete span per
+    // worker lane; all events share pid 1.
+    for tid in 0..2u64 {
+        let lane: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(Json::as_u64) == Some(tid))
+            .collect();
+        assert!(
+            lane.iter()
+                .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")),
+            "worker {tid} has a thread_name metadata event"
+        );
+        // Per-lane complete spans, in emission order, must not overlap.
+        let mut spans: Vec<(f64, f64)> = lane
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| {
+                let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+                let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+                (ts, ts + dur)
+            })
+            .collect();
+        assert!(!spans.is_empty(), "worker {tid} recorded phase spans");
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0 + 1e-6,
+                "worker {tid} spans overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    for e in events {
+        assert_eq!(e.get("pid").and_then(Json::as_u64), Some(1));
+    }
+
+    // NPJ's phases appear as span names; the build barrier as an instant.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"build/sort"), "{names:?}");
+    assert!(names.contains(&"probe"), "{names:?}");
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(Json::as_str) == Some("i")
+            && e.get("name").and_then(Json::as_str) == Some("barrier:build_done")
+    }));
+}
+
+#[test]
+fn histogram_matches_sampled_quantiles_at_full_sampling() {
+    let r = journaled_npj_run();
+    assert_eq!(r.hist.count(), r.matches, "histogram covers every match");
+    // With sample_every = 1 both estimators see the same population. Rank
+    // the recorded latencies with the histogram's convention (the
+    // ceil(q·n)-th observation) so the only disagreement left is the log
+    // bucketing, which must stay within 2%.
+    let mut lat: Vec<f64> = r.samples.iter().map(|m| m.latency_ms()).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    for q in [0.5, 0.95, 0.99] {
+        let hist = metrics::latency_quantile_exact_ms(&r, q).unwrap();
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        let exact = lat[rank - 1];
+        assert!(
+            (hist - exact).abs() <= exact * 0.02 + 0.01,
+            "q={q}: hist={hist} exact={exact}"
+        );
+    }
+}
+
+#[test]
+fn disabled_journal_leaves_no_trace() {
+    let ds = MicroSpec::static_counts(500, 500)
+        .dupe(2)
+        .seed(12)
+        .generate();
+    let r = execute(Algorithm::Npj, &ds, &RunConfig::with_threads(2));
+    assert!(r.journals.is_empty());
+    let doc = Json::parse(&r.chrome_trace()).expect("empty trace still valid JSON");
+    assert_eq!(
+        doc.get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+}

@@ -1,0 +1,334 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API, so `cargo bench` works hermetically with no registry
+//! access. Implements the surface the repo's `kernels` bench uses:
+//! `Criterion`/`benchmark_group`/`bench_function`/`bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BenchmarkId`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a wall-clock warm-up, the
+//! routine is timed over `sample_size` samples (each a batch sized to fill
+//! `measurement_time / sample_size`) and the median per-iteration time is
+//! reported, with throughput when configured. No plotting, no statistics
+//! beyond median/min/max, no HTML reports. Passing `--test` (as
+//! `cargo test --benches` does) runs every routine exactly once.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and configuration builder.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock warm-up before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Hook for `criterion_main!`'s argument handling; accepted and
+    /// ignored beyond `--test` detection (done in `Default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, None, id, &mut f);
+        self
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; size hints are irrelevant to
+/// this implementation (every batch reruns setup outside the timer).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (e.g. a cloned input vector).
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("seq", 10)` → `seq/10`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self.criterion, self.throughput, &id.to_string(), &mut f);
+        self
+    }
+
+    /// Time one routine against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.criterion, self.throughput, &id.to_string(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group. (Reporting is incremental, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` product per call, setup excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_one(
+    c: &Criterion,
+    throughput: Option<Throughput>,
+    id: &str,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {id:<40} ok (test mode)");
+        return;
+    }
+
+    // Warm up and estimate the cost of one iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < c.warm_up_time {
+        f(&mut b);
+        warm_iters += b.iters;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+
+    // Pick a batch size so all samples together fill measurement_time.
+    let budget_ns = c.measurement_time.as_nanos() as u64 / c.sample_size as u64;
+    let iters = (budget_ns / per_iter.max(1)).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            // median is ns/iter; n elems per iter → n/median elems/ns.
+            format!("  {:>12.2} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>12.2} MiB/s",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {id:<40} {:>12} ns/iter  [{:.0} .. {:.0}]{rate}",
+        format!("{median:.0}"),
+        lo,
+        hi
+    );
+}
+
+/// Define a benchmark entry point: either
+/// `criterion_group!(name, target, ...)` or the long form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = fast();
+        let mut calls = 0u64;
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter_batched(
+                || vec![x; 4],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("seq", 10).to_string(), "seq/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
