@@ -50,6 +50,8 @@ RUN OPTIONS (run, sweep, trace):
   --radix-bits N     PRJ radix bits (default 10)
   --group-size N     JB group size (default 2)
   --scalar-sort      disable the vectorizable sort backend
+  --scheduler MODE   work distribution: static|steal (default static)
+  --morsel-size N    steal-mode morsel size in tuples (default 1024)
   --json             machine-readable output
   --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker)
   --metrics-out FILE write a JSONL metrics journal (histogram, phases)

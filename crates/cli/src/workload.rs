@@ -1,7 +1,7 @@
 //! Building datasets and run configurations from CLI options.
 
 use crate::args::{ArgError, Args};
-use iawj_core::{Algorithm, RunConfig};
+use iawj_core::{Algorithm, RunConfig, Scheduler};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
 use iawj_exec::SortBackend;
 
@@ -21,6 +21,8 @@ pub const RUN_OPTS: &[&str] = &[
     "group-size",
     "scalar-sort",
     "eager-merge",
+    "scheduler",
+    "morsel-size",
     "json",
     "trace-out",
     "metrics-out",
@@ -150,6 +152,14 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
         cfg.sort = SortBackend::Scalar;
     }
     cfg.pmj.eager_merge = args.flag("eager-merge");
+    if let Some(v) = args.get("scheduler") {
+        cfg.sched.scheduler = v.parse::<Scheduler>().map_err(|_| ArgError::Invalid {
+            key: "scheduler".into(),
+            value: v.into(),
+            expected: "static|steal",
+        })?;
+    }
+    cfg.sched.morsel_size = args.get_or("morsel-size", cfg.sched.morsel_size)?;
     // Trace export needs per-worker span journals.
     cfg.journal = args.get("trace-out").is_some();
     Ok(cfg)
@@ -206,5 +216,14 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.sort, SortBackend::Scalar);
         assert!((cfg.pmj.delta - 0.3).abs() < 1e-9);
+        assert_eq!(cfg.sched.scheduler, Scheduler::Static);
+    }
+
+    #[test]
+    fn scheduler_knobs() {
+        let cfg = build_config(&parse("--scheduler steal --morsel-size 256")).unwrap();
+        assert_eq!(cfg.sched.scheduler, Scheduler::Steal);
+        assert_eq!(cfg.sched.morsel_size, 256);
+        assert!(build_config(&parse("--scheduler adaptive")).is_err());
     }
 }

@@ -1,7 +1,8 @@
 //! Run configuration: thread count, sort backend, the per-algorithm tuning
 //! knobs of §5.5, and harness controls (time compression, match sampling).
 
-use iawj_exec::SortBackend;
+use iawj_exec::morsel::{MorselQueue, DEFAULT_MORSEL};
+use iawj_exec::{Scheduler, SortBackend};
 
 /// NPJ knobs (latching ablation; see DESIGN.md §5).
 #[derive(Clone, Copy, Debug, Default)]
@@ -97,6 +98,45 @@ impl Default for HybridConfig {
     }
 }
 
+/// Work-distribution knobs shared by every engine (the Fig. 10 skew
+/// ablation: static `chunk_range` splits vs morsel-driven stealing).
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Which scheduler drives the parallel scan/probe loops.
+    pub scheduler: Scheduler,
+    /// Morsel size in tuples (steal mode only; clamped to ≥ 1).
+    pub morsel_size: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            scheduler: Scheduler::Static,
+            morsel_size: DEFAULT_MORSEL,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Is morsel-driven stealing enabled?
+    #[inline]
+    pub fn stealing(&self) -> bool {
+        self.scheduler == Scheduler::Steal
+    }
+
+    /// A morsel queue over `0..len` for `workers` workers, at the
+    /// configured morsel size.
+    pub fn queue(&self, len: usize, workers: usize) -> MorselQueue {
+        MorselQueue::new(len, workers, self.morsel_size)
+    }
+
+    /// A queue over coarse work items (radix partitions, merge ranges)
+    /// claimed one at a time rather than in morsel-size runs.
+    pub fn item_queue(&self, items: usize, workers: usize) -> MorselQueue {
+        MorselQueue::new(items, workers, 1)
+    }
+}
+
 /// Complete configuration of one run.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -118,6 +158,8 @@ pub struct RunConfig {
     pub journal: bool,
     /// Ring capacity (spans and marks each) of one worker's journal.
     pub journal_capacity: usize,
+    /// Work-distribution knobs (scheduler + morsel size).
+    pub sched: SchedConfig,
     /// NPJ knobs.
     pub npj: NpjConfig,
     /// PRJ knobs.
@@ -142,6 +184,7 @@ impl Default for RunConfig {
             mem_sample_every: 4096,
             journal: false,
             journal_capacity: 1 << 14,
+            sched: SchedConfig::default(),
             npj: NpjConfig::default(),
             prj: PrjConfig::default(),
             pmj: PmjConfig::default(),
@@ -182,6 +225,18 @@ impl RunConfig {
     /// Builder: enable per-worker span journaling.
     pub fn with_journal(mut self) -> Self {
         self.journal = true;
+        self
+    }
+
+    /// Builder: select the work-distribution scheduler.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.sched.scheduler = scheduler;
+        self
+    }
+
+    /// Builder: set the morsel size for steal mode.
+    pub fn morsel_size(mut self, morsel_size: usize) -> Self {
+        self.sched.morsel_size = morsel_size;
         self
     }
 
@@ -264,11 +319,26 @@ mod tests {
         let c = RunConfig::with_threads(2)
             .sort(SortBackend::Scalar)
             .speedup(10.0)
-            .record_all();
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(256);
         assert_eq!(c.threads, 2);
         assert_eq!(c.sort, SortBackend::Scalar);
         assert_eq!(c.sample_every, 1);
         assert!((c.speedup - 10.0).abs() < 1e-9);
+        assert!(c.sched.stealing());
+        assert_eq!(c.sched.morsel_size, 256);
+    }
+
+    #[test]
+    fn sched_defaults_to_static_chunks() {
+        let c = RunConfig::default();
+        assert_eq!(c.sched.scheduler, Scheduler::Static);
+        assert!(!c.sched.stealing());
+        assert_eq!(c.sched.morsel_size, iawj_exec::DEFAULT_MORSEL);
+        let q = c.sched.queue(100, 4);
+        assert_eq!((q.len(), q.workers()), (100, 4));
+        assert_eq!(c.sched.item_queue(16, 4).morsel(), 1);
     }
 
     #[test]

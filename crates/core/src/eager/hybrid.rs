@@ -230,6 +230,37 @@ mod tests {
     }
 
     #[test]
+    fn steal_scheduler_matches_reference() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(1000, 16, 5);
+        let s = random_stream(1000, 16, 6);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        let clock = EventClock::ungated();
+        // Sub-chunked pulls shrink per-call batch sizes below the defer
+        // threshold; the engine must stay exact either way it flips.
+        let cfg = RunConfig::with_threads(1)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(16);
+        let engine = HybridEngine::new(r.len(), s.len(), 16, SortBackend::Vectorized);
+        let out = drive_worker(
+            engine,
+            View::strided(&r, 0, 1),
+            View::strided(&s, 0, 1),
+            &cfg,
+            &clock,
+        );
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn mixed_mode_exactly_once() {
         // Ungated pulls come in full batches (64) except the tails, so a
         // threshold of 64 routes most tuples through the backlog and the

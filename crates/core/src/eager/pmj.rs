@@ -236,6 +236,37 @@ mod tests {
     }
 
     #[test]
+    fn steal_scheduler_matches_reference() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(600, 48, 1);
+        let s = random_stream(800, 48, 2);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        let clock = EventClock::ungated();
+        // Sub-chunked delivery changes PMJ's run boundaries; the match set
+        // must not change with them.
+        let cfg = RunConfig::with_threads(1)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(5);
+        let engine = PmjEngine::new(r.len().max(s.len()), 0.2, SortBackend::Vectorized);
+        let out = drive_worker(
+            engine,
+            View::strided(&r, 0, 1),
+            View::strided(&s, 0, 1),
+            &cfg,
+            &clock,
+        );
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn tiny_delta_many_runs_still_exact() {
         let r = random_stream(300, 8, 3);
         let s = random_stream(300, 8, 4);

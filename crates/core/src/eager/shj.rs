@@ -144,6 +144,42 @@ mod tests {
     }
 
     #[test]
+    fn steal_scheduler_subchunks_batches_exactly() {
+        use iawj_exec::morsel::MARK_CLAIM;
+        use iawj_exec::Scheduler;
+        let r = random_stream(400, 32, 1);
+        let s = random_stream(500, 32, 2);
+        let clock = EventClock::ungated();
+        // morsel 7 < BATCH forces every pull through the sub-chunk path.
+        let cfg = RunConfig::with_threads(1)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(7)
+            .with_journal();
+        let out = drive_worker(
+            ShjEngine::new(r.len(), s.len()),
+            View::strided(&r, 0, 1),
+            View::strided(&s, 0, 1),
+            &cfg,
+            &clock,
+        );
+        let mut got: Vec<_> = out
+            .sink
+            .samples
+            .iter()
+            .map(|m| (m.key, m.r_ts, m.s_ts))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, nested_loop_join(&r, &s, Window::of_len(64)));
+        let claims = out
+            .journal
+            .as_ref()
+            .expect("journaled")
+            .count_marks(MARK_CLAIM);
+        assert!(claims >= 900 / 7, "every sub-chunk journaled: {claims}");
+    }
+
+    #[test]
     fn direct_interleaving_is_exactly_once() {
         // Drive the engine by hand with interleaved singleton batches.
         let mut e = ShjEngine::new(4, 4);

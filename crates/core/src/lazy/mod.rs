@@ -5,8 +5,9 @@
 //! the complete tuple sets.
 //!
 //! Shared scaffolding lives here: `Slots` for barrier-separated data
-//! exchange between workers, and [`EmitClock`] for cheap per-match emission
-//! timestamps.
+//! exchange between workers, [`EmitClock`] for cheap per-match emission
+//! timestamps, and `steal_scan`, the journal-instrumented morsel driver the
+//! lazy engines use in steal mode.
 
 pub mod mpass;
 pub mod mway;
@@ -14,7 +15,25 @@ pub mod npj;
 pub mod prj;
 
 use crate::clock::EventClock;
+use iawj_exec::morsel::{for_each_morsel, MorselQueue, MorselStats, MARK_CLAIM, MARK_STEAL};
+use iawj_exec::PhaseTimer;
 use std::sync::OnceLock;
+
+/// Drive worker `tid` over a [`MorselQueue`], emitting a `morsel:claim`
+/// journal mark per owned morsel and a `morsel:steal` mark per stolen one,
+/// then applying `f` to the claimed index range. The marks are what make
+/// Fig. 10-style scheduler comparisons inspectable in the exported trace.
+pub(crate) fn steal_scan(
+    q: &MorselQueue,
+    tid: usize,
+    timer: &mut PhaseTimer,
+    mut f: impl FnMut(std::ops::Range<usize>),
+) -> MorselStats {
+    for_each_morsel(q, tid, |range, stolen| {
+        timer.instant(if stolen { MARK_STEAL } else { MARK_CLAIM });
+        f(range);
+    })
+}
 
 /// One-shot exchange slots between workers: each slot is written exactly
 /// once (by one worker) and read by others strictly after a barrier.

@@ -9,13 +9,14 @@
 
 use crate::clock::EventClock;
 use crate::config::RunConfig;
-use crate::lazy::mway::{key_aligned_splitters, segment};
+use crate::lazy::mway::{key_aligned_splitters, segment, STEAL_OVERSPLIT};
 use crate::lazy::{EmitClock, Slots};
 use crate::output::WorkerOut;
 use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::merge::{
     choose_splitters, merge_two_into, merge_two_into_branchless, splitter_bounds,
 };
+use iawj_exec::morsel::{for_each_morsel, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed, SortBackend};
 use iawj_exec::{run_workers, Latch, PhaseTimer};
@@ -29,6 +30,13 @@ pub fn run(
     arrive_by: Ts,
 ) -> Vec<WorkerOut> {
     let threads = cfg.threads;
+    let stealing = cfg.sched.stealing();
+    let parts = if stealing {
+        threads * STEAL_OVERSPLIT
+    } else {
+        threads
+    };
+    let range_q = cfg.sched.item_queue(parts, threads);
     // Mutable run storage for the merge passes: slot i holds the run that
     // started as thread i's sorted chunk and absorbs its merge partners.
     let r_store: Vec<Latch<Option<Vec<u64>>>> = (0..threads).map(|_| Latch::new(None)).collect();
@@ -110,7 +118,7 @@ pub fn run(
                 0,
                 key_aligned_splitters(choose_splitters(
                     &[r_all.as_slice(), s_all.as_slice()],
-                    threads,
+                    parts,
                 )),
             );
         }
@@ -118,14 +126,29 @@ pub fn run(
         split_done.wait();
         timer.instant("barrier:splitters_done");
         let bounds = splitter_bounds(splitters.get(0));
-        if tid < bounds.len() {
-            timer.switch_to(Phase::Probe);
-            let r_seg = segment(r_all, &bounds, tid);
-            let s_seg = segment(s_all, &bounds, tid);
-            let mut emit = EmitClock::new(clock);
-            iawj_exec::mergejoin::merge_join(r_seg, s_seg, |k, rts, sts| {
-                out.sink.push(k, rts, sts, emit.now());
+        let mut emit = EmitClock::new(clock);
+        if stealing {
+            for_each_morsel(&range_q, tid, |claimed, stolen| {
+                timer.instant(if stolen { MARK_STEAL } else { MARK_CLAIM });
+                for i in claimed {
+                    if i >= bounds.len() {
+                        continue; // key alignment merged this range away
+                    }
+                    timer.switch_to(Phase::Probe);
+                    iawj_exec::mergejoin::merge_join(
+                        segment(r_all, &bounds, i),
+                        segment(s_all, &bounds, i),
+                        |k, rts, sts| out.sink.push(k, rts, sts, emit.now()),
+                    );
+                }
             });
+        } else if tid < bounds.len() {
+            timer.switch_to(Phase::Probe);
+            iawj_exec::mergejoin::merge_join(
+                segment(r_all, &bounds, tid),
+                segment(s_all, &bounds, tid),
+                |k, rts, sts| out.sink.push(k, rts, sts, emit.now()),
+            );
         }
         out.set_timing(timer.finish_parts());
         out
@@ -198,6 +221,22 @@ mod tests {
             canonical(&outs),
             nested_loop_join(&r, &s, Window::of_len(64))
         );
+    }
+
+    #[test]
+    fn steal_scheduler_matches_reference() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(1200, 150, 9);
+        let s = random_stream(1000, 150, 10);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        for threads in [1usize, 2, 4] {
+            let cfg = RunConfig::with_threads(threads)
+                .record_all()
+                .scheduler(Scheduler::Steal);
+            let clock = EventClock::ungated();
+            let outs = run(&r, &s, &cfg, &clock, 0);
+            assert_eq!(canonical(&outs), expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::clock::EventClock;
 use crate::config::RunConfig;
-use crate::lazy::EmitClock;
+use crate::lazy::{steal_scan, EmitClock};
 use crate::output::WorkerOut;
 use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
@@ -66,14 +66,25 @@ pub fn run(
     let threads = cfg.threads;
     let table = Table::build(r.len(), cfg);
     let build_done = barrier(threads);
+    let stealing = cfg.sched.stealing();
+    let build_q = cfg.sched.queue(r.len(), threads);
+    let probe_q = cfg.sched.queue(s.len(), threads);
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
         let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
         clock.wait_until(arrive_by);
 
         timer.switch_to(Phase::BuildSort);
-        for t in &r[chunk_range(r.len(), threads, tid)] {
-            table.insert(t.key, t.ts);
+        if stealing {
+            steal_scan(&build_q, tid, &mut timer, |range| {
+                for t in &r[range] {
+                    table.insert(t.key, t.ts);
+                }
+            });
+        } else {
+            for t in &r[chunk_range(r.len(), threads, tid)] {
+                table.insert(t.key, t.ts);
+            }
         }
         timer.switch_to(Phase::Other);
         build_done.wait();
@@ -84,9 +95,18 @@ pub fn run(
 
         timer.switch_to(Phase::Probe);
         let mut emit = EmitClock::new(clock);
-        for t in &s[chunk_range(s.len(), threads, tid)] {
-            let now = emit.now();
-            table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+        if stealing {
+            steal_scan(&probe_q, tid, &mut timer, |range| {
+                for t in &s[range] {
+                    let now = emit.now();
+                    table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+                }
+            });
+        } else {
+            for t in &s[chunk_range(s.len(), threads, tid)] {
+                let now = emit.now();
+                table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+            }
         }
         out.set_timing(timer.finish_parts());
         out
@@ -157,6 +177,39 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, nested_loop_join(&r, &s, Window::of_len(64)));
+    }
+
+    #[test]
+    fn steal_scheduler_matches_static() {
+        use iawj_exec::morsel::MARK_CLAIM;
+        use iawj_exec::Scheduler;
+        let r = random_stream(900, 16, 11);
+        let s = random_stream(1100, 16, 12);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        let cfg = RunConfig::with_threads(4)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(64)
+            .with_journal();
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let mut got: Vec<_> = outs
+            .iter()
+            .flat_map(|w| w.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        let marks = |name: &str| -> usize {
+            outs.iter()
+                .filter_map(|w| w.journal.as_ref())
+                .map(|j| j.count_marks(name))
+                .sum()
+        };
+        // Morsels align per deque: 4 deques of 225 (build) and 275 (probe)
+        // tuples at morsel 64 yield 4*ceil(225/64) + 4*ceil(275/64) marks,
+        // each claimed exactly once whether owned or stolen.
+        use iawj_exec::morsel::MARK_STEAL;
+        assert_eq!(marks(MARK_CLAIM) + marks(MARK_STEAL), 16 + 20);
     }
 
     #[test]

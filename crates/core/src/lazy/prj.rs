@@ -10,13 +10,30 @@
 
 use crate::clock::EventClock;
 use crate::config::RunConfig;
-use crate::lazy::{EmitClock, Slots};
+use crate::lazy::{steal_scan, EmitClock, Slots};
 use crate::output::WorkerOut;
 use iawj_common::{Phase, Sink, Ts, Tuple};
+use iawj_exec::morsel::{for_each_morsel, MorselQueue, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::radix::{histogram, partition_seq, ScatterPlan, SharedOut};
 use iawj_exec::{run_workers, LocalTable, PhaseTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed morsel grid used by the steal-mode partition pass: cell `g` of an
+/// input of `len` tuples is `g*m..(g+1)*m`. The grid is deterministic so a
+/// cell's histogram and its scatter use the same slice no matter which
+/// worker claims it — the contract `ScatterPlan::scatter_chunk` relies on.
+#[inline]
+fn grid_chunk(len: usize, m: usize, g: usize) -> std::ops::Range<usize> {
+    (g * m)..((g + 1) * m).min(len)
+}
+
+/// Number of grid cells for `len` tuples at morsel size `m` (at least one,
+/// so empty inputs still yield a valid all-zero scatter plan).
+#[inline]
+fn grid_cells(len: usize, m: usize) -> usize {
+    len.div_ceil(m).max(1)
+}
 
 /// Run PRJ.
 pub fn run(
@@ -31,6 +48,24 @@ pub fn run(
     let bits1 = bits_total.min(cfg.prj.max_bits_per_pass).max(1);
     let bits2 = bits_total - bits1;
 
+    let stealing = cfg.sched.stealing();
+    let morsel = cfg.sched.morsel_size.max(1);
+    // Steal mode partitions over a fixed morsel grid instead of one chunk
+    // per thread: each grid cell is a scatter-plan slot, so any worker can
+    // claim any cell's histogram or scatter without violating the
+    // histogram-matches-chunk contract.
+    let (r_cells, s_cells) = if stealing {
+        (grid_cells(r.len(), morsel), grid_cells(s.len(), morsel))
+    } else {
+        (0, 0)
+    };
+    let r_ghists: Slots<Vec<u32>> = Slots::new(r_cells);
+    let s_ghists: Slots<Vec<u32>> = Slots::new(s_cells);
+    let r_hist_q = MorselQueue::new(r_cells, threads, 1);
+    let s_hist_q = MorselQueue::new(s_cells, threads, 1);
+    let r_scatter_q = MorselQueue::new(r_cells, threads, 1);
+    let s_scatter_q = MorselQueue::new(s_cells, threads, 1);
+
     let r_hists: Slots<Vec<u32>> = Slots::new(threads);
     let s_hists: Slots<Vec<u32>> = Slots::new(threads);
     let plans: Slots<(ScatterPlan, SharedOut, ScatterPlan, SharedOut)> = Slots::new(1);
@@ -38,6 +73,8 @@ pub fn run(
     let plan_done = barrier(threads);
     let scatter_done = barrier(threads);
     let next_partition = AtomicUsize::new(0);
+    let fanout1 = 1usize << bits1;
+    let join_q = cfg.sched.item_queue(fanout1, threads);
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
@@ -46,19 +83,41 @@ pub fn run(
 
         // --- Pass 1: cooperative parallel partition of R and S ---
         timer.switch_to(Phase::Partition);
-        r_hists.set(
-            tid,
-            histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1),
-        );
-        s_hists.set(
-            tid,
-            histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1),
-        );
+        if stealing {
+            steal_scan(&r_hist_q, tid, &mut timer, |cells| {
+                for g in cells {
+                    r_ghists.set(g, histogram(&r[grid_chunk(r.len(), morsel, g)], 0, bits1));
+                }
+            });
+            steal_scan(&s_hist_q, tid, &mut timer, |cells| {
+                for g in cells {
+                    s_ghists.set(g, histogram(&s[grid_chunk(s.len(), morsel, g)], 0, bits1));
+                }
+            });
+        } else {
+            r_hists.set(
+                tid,
+                histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1),
+            );
+            s_hists.set(
+                tid,
+                histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1),
+            );
+        }
         hist_done.wait();
         timer.instant("barrier:histograms_done");
         if tid == 0 {
-            let rh: Vec<Vec<u32>> = (0..threads).map(|i| r_hists.get(i).clone()).collect();
-            let sh: Vec<Vec<u32>> = (0..threads).map(|i| s_hists.get(i).clone()).collect();
+            let (rh, sh): (Vec<Vec<u32>>, Vec<Vec<u32>>) = if stealing {
+                (
+                    (0..r_cells).map(|g| r_ghists.get(g).clone()).collect(),
+                    (0..s_cells).map(|g| s_ghists.get(g).clone()).collect(),
+                )
+            } else {
+                (
+                    (0..threads).map(|i| r_hists.get(i).clone()).collect(),
+                    (0..threads).map(|i| s_hists.get(i).clone()).collect(),
+                )
+            };
             let rp = ScatterPlan::from_histograms(&rh, 0, bits1);
             let sp = ScatterPlan::from_histograms(&sh, 0, bits1);
             let ro = SharedOut::new(r.len());
@@ -67,7 +126,28 @@ pub fn run(
         }
         plan_done.wait();
         let (r_plan, r_out, s_plan, s_out) = plans.get(0);
-        if cfg.prj.buffered_scatter {
+        if stealing {
+            steal_scan(&r_scatter_q, tid, &mut timer, |cells| {
+                for g in cells {
+                    let c = &r[grid_chunk(r.len(), morsel, g)];
+                    if cfg.prj.buffered_scatter {
+                        r_plan.scatter_chunk_buffered(c, g, r_out);
+                    } else {
+                        r_plan.scatter_chunk(c, g, r_out);
+                    }
+                }
+            });
+            steal_scan(&s_scatter_q, tid, &mut timer, |cells| {
+                for g in cells {
+                    let c = &s[grid_chunk(s.len(), morsel, g)];
+                    if cfg.prj.buffered_scatter {
+                        s_plan.scatter_chunk_buffered(c, g, s_out);
+                    } else {
+                        s_plan.scatter_chunk(c, g, s_out);
+                    }
+                }
+            });
+        } else if cfg.prj.buffered_scatter {
             r_plan.scatter_chunk_buffered(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
             s_plan.scatter_chunk_buffered(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
         } else {
@@ -90,34 +170,42 @@ pub fn run(
         }
 
         // --- Per-partition cache-resident joins from a shared queue ---
-        let fanout1 = 1usize << bits1;
         let mut emit = EmitClock::new(clock);
-        loop {
-            let p = next_partition.fetch_add(1, Ordering::Relaxed);
-            if p >= fanout1 {
-                break;
-            }
-            let rp = &r_part[r_plan.bounds[p]..r_plan.bounds[p + 1]];
-            let sp = &s_part[s_plan.bounds[p]..s_plan.bounds[p + 1]];
-            if rp.is_empty() || sp.is_empty() {
-                continue;
-            }
-            if bits2 > 0 {
-                // --- Pass 2: thread-local refinement ---
-                timer.switch_to(Phase::Partition);
-                let rr = partition_seq(rp, bits1, bits2);
-                let ss = partition_seq(sp, bits1, bits2);
-                for q in 0..rr.fanout() {
-                    join_partition(
-                        rr.partition(q),
-                        ss.partition(q),
-                        &mut timer,
-                        &mut emit,
-                        &mut out,
-                    );
+        let do_partition =
+            |p: usize, timer: &mut PhaseTimer, emit: &mut EmitClock, out: &mut WorkerOut| {
+                let rp = &r_part[r_plan.bounds[p]..r_plan.bounds[p + 1]];
+                let sp = &s_part[s_plan.bounds[p]..s_plan.bounds[p + 1]];
+                if rp.is_empty() || sp.is_empty() {
+                    return;
                 }
-            } else {
-                join_partition(rp, sp, &mut timer, &mut emit, &mut out);
+                if bits2 > 0 {
+                    // --- Pass 2: thread-local refinement ---
+                    timer.switch_to(Phase::Partition);
+                    let rr = partition_seq(rp, bits1, bits2);
+                    let ss = partition_seq(sp, bits1, bits2);
+                    for q in 0..rr.fanout() {
+                        join_partition(rr.partition(q), ss.partition(q), timer, emit, out);
+                    }
+                } else {
+                    join_partition(rp, sp, timer, emit, out);
+                }
+            };
+        if stealing {
+            // Per-worker deques of partition ids with steal-half: a worker
+            // stuck on a heavy Zipf partition sheds the rest of its deque.
+            for_each_morsel(&join_q, tid, |range, stolen| {
+                timer.instant(if stolen { MARK_STEAL } else { MARK_CLAIM });
+                for p in range {
+                    do_partition(p, &mut timer, &mut emit, &mut out);
+                }
+            });
+        } else {
+            loop {
+                let p = next_partition.fetch_add(1, Ordering::Relaxed);
+                if p >= fanout1 {
+                    break;
+                }
+                do_partition(p, &mut timer, &mut emit, &mut out);
             }
         }
         out.set_timing(timer.finish_parts());
@@ -224,6 +312,49 @@ mod tests {
             canonical(&outs),
             nested_loop_join(&r, &s, Window::of_len(64))
         );
+    }
+
+    #[test]
+    fn steal_scheduler_matches_reference_both_pass_shapes() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(2500, 1 << 10, 21);
+        let s = random_stream(2500, 1 << 10, 22);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        for (bits, per_pass) in [(6, 8), (10, 6)] {
+            let mut cfg = RunConfig::with_threads(4)
+                .record_all()
+                .scheduler(Scheduler::Steal)
+                .morsel_size(128);
+            cfg.prj.radix_bits = bits;
+            cfg.prj.max_bits_per_pass = per_pass;
+            let clock = EventClock::ungated();
+            let outs = run(&r, &s, &cfg, &clock, 0);
+            assert_eq!(canonical(&outs), expect, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn steal_scheduler_journals_grid_claims() {
+        use iawj_exec::morsel::{MARK_CLAIM, MARK_STEAL};
+        use iawj_exec::Scheduler;
+        let r = random_stream(1000, 128, 23);
+        let s = random_stream(1000, 128, 24);
+        let mut cfg = RunConfig::with_threads(4)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(100)
+            .with_journal();
+        cfg.prj.radix_bits = 6;
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        let marks: usize = outs
+            .iter()
+            .filter_map(|w| w.journal.as_ref())
+            .map(|j| j.count_marks(MARK_CLAIM) + j.count_marks(MARK_STEAL))
+            .sum();
+        // 10 histogram cells + 10 scatter cells per side, plus 64 join
+        // partitions: every unit of claimable work shows up in the journal.
+        assert_eq!(marks, 10 + 10 + 10 + 10 + 64);
     }
 
     #[test]

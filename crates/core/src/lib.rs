@@ -43,6 +43,7 @@ pub mod windowing;
 
 pub use algo::Algorithm;
 pub use clock::EventClock;
-pub use config::RunConfig;
+pub use config::{RunConfig, SchedConfig};
+pub use iawj_exec::Scheduler;
 pub use output::RunResult;
 pub use runner::execute;

@@ -7,6 +7,8 @@
 //! across all eight algorithms (§4.2.2):
 //!
 //! - [`pool`] — scoped worker threads and barriers (the pthread harness).
+//! - [`morsel`] — morsel-driven work-stealing scheduler: the dynamic
+//!   alternative to `pool::chunk_range` for skew-robust scans (Fig. 10).
 //! - [`timer`] — per-thread phase timers; wall time stands in for RDTSC and
 //!   is converted to cycles at the nominal 2.6 GHz of the paper's machine.
 //! - [`radix`] — histogram-based radix partitioning, sequential and
@@ -24,6 +26,7 @@ pub mod hashtable;
 pub mod latch;
 pub mod merge;
 pub mod mergejoin;
+pub mod morsel;
 pub mod pool;
 pub mod radix;
 pub mod sort;
@@ -31,6 +34,7 @@ pub mod timer;
 
 pub use hashtable::{LocalTable, SharedTable, StripedTable};
 pub use latch::Latch;
+pub use morsel::{for_each_morsel, MorselQueue, MorselStats, Scheduler, DEFAULT_MORSEL};
 pub use pool::run_workers;
 pub use sort::SortBackend;
 pub use timer::{ns_to_cycles, PhaseTimer, NOMINAL_GHZ};

@@ -259,6 +259,68 @@ pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usiz
     }
 }
 
+/// Morsel-driven variant of [`partition_parallel`]: the input is cut into a
+/// fixed grid of `morsel`-sized cells and workers claim cells from a
+/// [`MorselQueue`](crate::morsel::MorselQueue) — stealing from each other
+/// once their own deque drains — for both the histogram and the scatter
+/// pass. The grid (not the worker count) defines the scatter-plan slots, so
+/// a cell's histogram and its scatter always use the same slice no matter
+/// which worker ends up claiming it. Output layout is identical to
+/// [`partition_parallel`]: partitions in radix order, each preserving the
+/// input order of its tuples.
+pub fn partition_parallel_morsel(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    morsel: usize,
+) -> Partitioned {
+    use crate::morsel::{for_each_morsel, MorselQueue};
+    assert!(threads > 0);
+    if threads == 1 || tuples.len() < 1024 {
+        return partition_seq(tuples, shift, bits);
+    }
+    let m = morsel.max(1);
+    let cells = tuples.len().div_ceil(m);
+    let cell = |g: usize| &tuples[g * m..((g + 1) * m).min(tuples.len())];
+
+    // Step 1: per-cell histograms, cells claimed work-stealingly.
+    let hist_q = MorselQueue::new(cells, threads, 1);
+    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = run_workers(threads, |tid| {
+        let mut local = Vec::new();
+        for_each_morsel(&hist_q, tid, |claimed, _| {
+            for g in claimed {
+                local.push((g, histogram(cell(g), shift, bits)));
+            }
+        });
+        local
+    });
+    let mut hists = vec![Vec::new(); cells];
+    for (g, h) in per_worker.into_iter().flatten() {
+        hists[g] = h;
+    }
+
+    // Step 2: one scatter slot per grid cell.
+    let plan = ScatterPlan::from_histograms(&hists, shift, bits);
+    debug_assert_eq!(plan.total(), tuples.len());
+
+    // Step 3: contention-free scatter, cells claimed work-stealingly.
+    let out = SharedOut::new(tuples.len());
+    let scatter_q = MorselQueue::new(cells, threads, 1);
+    let (plan_ref, out_ref) = (&plan, &out);
+    run_workers(threads, |tid| {
+        for_each_morsel(&scatter_q, tid, |claimed, _| {
+            for g in claimed {
+                plan_ref.scatter_chunk(cell(g), g, out_ref);
+            }
+        });
+    });
+    Partitioned {
+        data: out.into_vec(),
+        bounds: plan.bounds,
+    }
+}
+
 /// Two-pass recursive partitioning: first pass on the low `bits1` key bits,
 /// then each first-pass partition is re-partitioned on the next `bits2`
 /// bits. This is how PRJ keeps the first-pass fan-out within TLB reach while
@@ -357,6 +419,27 @@ mod tests {
         // Within a partition, parallel scatter preserves input order
         // (thread chunks are contiguous and offsets partition-major).
         assert_eq!(seq.data, par.data);
+    }
+
+    #[test]
+    fn morsel_partition_is_bitwise_identical_to_static() {
+        let input = random_tuples(20_000, 1 << 14, 2);
+        let par = partition_parallel(&input, 0, 6, 4);
+        for morsel in [128usize, 512, 4096, 1 << 20] {
+            let stolen = partition_parallel_morsel(&input, 0, 6, 4, morsel);
+            assert_eq!(par.bounds, stolen.bounds, "morsel={morsel}");
+            // Grid cells are contiguous ascending slices and scatter slots
+            // are cell-major, so even the within-partition tuple order
+            // matches the static scatter exactly.
+            assert_eq!(par.data, stolen.data, "morsel={morsel}");
+        }
+    }
+
+    #[test]
+    fn morsel_partition_small_input_falls_back_to_seq() {
+        let input = random_tuples(500, 256, 7);
+        let p = partition_parallel_morsel(&input, 0, 5, 4, 64);
+        check_partitioned(&p, &input, 0, 5);
     }
 
     #[test]

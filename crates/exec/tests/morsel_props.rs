@@ -1,0 +1,96 @@
+//! Property tests of the morsel scheduler's claim invariants: the exact
+//! guarantees every steal-mode engine silently relies on. The static-mode
+//! baseline (`chunk_range` tiling) keeps its own tests in `pool.rs`.
+
+use iawj_exec::morsel::{for_each_morsel, MorselQueue};
+use iawj_exec::run_workers;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+proptest! {
+    #[test]
+    fn every_index_claimed_exactly_once_concurrently(
+        len in 0usize..40_000,
+        workers in 1usize..9,
+        morsel in 1usize..3000) {
+        let q = MorselQueue::new(len, workers, morsel);
+        let counts: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        run_workers(workers, |tid| {
+            for_each_morsel(&q, tid, |range, _| {
+                for i in range {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {}", i);
+        }
+        prop_assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn morsels_never_overlap_and_never_exceed_size(
+        len in 0usize..20_000,
+        workers in 1usize..7,
+        morsel in 1usize..2000) {
+        // A single surviving worker drains the whole queue: its own deque
+        // in order, then everything stolen. Every handed-out range must be
+        // non-empty, at most `morsel` long, and pairwise disjoint.
+        let q = MorselQueue::new(len, workers, morsel);
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        for_each_morsel(&q, 0, |r, _| ranges.push(r));
+        let mut covered = vec![false; len];
+        for r in &ranges {
+            prop_assert!(r.len() <= morsel, "oversized morsel {:?}", r);
+            prop_assert!(!r.is_empty(), "empty morsel handed out");
+            for i in r.clone() {
+                prop_assert!(!covered[i], "overlap at {}", i);
+                covered[i] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b), "work lost");
+    }
+
+    #[test]
+    fn steal_half_never_loses_work_when_workers_go_missing(
+        len in 1usize..20_000,
+        workers in 2usize..7,
+        arrivals in 1usize..7,
+        morsel in 1usize..1500) {
+        // Only `arrivals` of the `workers` deque owners ever show up (the
+        // rest "stall" forever). Steal-half must still drain every absent
+        // owner's deque, covering each index exactly once.
+        let arrivals = arrivals.min(workers);
+        let q = MorselQueue::new(len, workers, morsel);
+        let mut seen = vec![0u32; len];
+        for tid in 0..arrivals {
+            for_each_morsel(&q, tid, |r, _| {
+                for i in r {
+                    seen[i] += 1;
+                }
+            });
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            prop_assert_eq!(c, 1, "index {} claimed {} times", i, c);
+        }
+        prop_assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn single_worker_degrades_to_static_chunk(
+        len in 0usize..10_000,
+        morsel in 1usize..600) {
+        // n == 1 must visit 0..len in order, never marked stolen —
+        // exactly the coverage of chunk_range(len, 1, 0).
+        let q = MorselQueue::new(len, 1, morsel);
+        let mut seen = Vec::with_capacity(len);
+        let mut any_stolen = false;
+        for_each_morsel(&q, 0, |r, stolen| {
+            any_stolen |= stolen;
+            seen.extend(r);
+        });
+        prop_assert!(!any_stolen, "one worker has nobody to steal from");
+        let expect: Vec<usize> = iawj_exec::pool::chunk_range(len, 1, 0).collect();
+        prop_assert_eq!(seen, expect);
+    }
+}

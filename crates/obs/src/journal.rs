@@ -151,6 +151,13 @@ impl SpanJournal {
         self.marks.len()
     }
 
+    /// Number of retained marks with the given name (e.g. scheduler
+    /// `"morsel:steal"` events). Counts only what the ring retained;
+    /// overwritten marks are gone.
+    pub fn count_marks(&self, name: &str) -> usize {
+        self.marks.iter().filter(|m| m.name == name).count()
+    }
+
     /// Entries overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -202,6 +209,18 @@ mod tests {
                 at_ns: 250
             }]
         );
+    }
+
+    #[test]
+    fn count_marks_filters_by_name() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 8);
+        j.mark("morsel:claim", at(epoch, 1));
+        j.mark("morsel:steal", at(epoch, 2));
+        j.mark("morsel:claim", at(epoch, 3));
+        assert_eq!(j.count_marks("morsel:claim"), 2);
+        assert_eq!(j.count_marks("morsel:steal"), 1);
+        assert_eq!(j.count_marks("absent"), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! skewed and uniform, symmetric and asymmetric.
 
 use iawj_study::core::reference::{match_count, nested_loop_join};
-use iawj_study::core::{execute, Algorithm, RunConfig};
+use iawj_study::core::{execute, Algorithm, RunConfig, Scheduler};
 use iawj_study::datagen::{Dataset, MicroSpec};
 
 fn canonical(result: &iawj_study::core::RunResult) -> Vec<(u32, u32, u32)> {
@@ -93,6 +93,43 @@ fn single_and_many_threads() {
         .generate();
     for threads in [1usize, 2, 5, 8] {
         assert_all_algorithms_exact(&ds, threads, "thread sweep");
+    }
+}
+
+/// The cross-engine differential harness guarding the morsel scheduler:
+/// every studied engine, against the nested-loop oracle, over a randomized
+/// grid of seed × Zipf key skew × thread count × scheduler — asserting the
+/// *exact sorted match set*, not just the count. Skew θ=0.99 at small
+/// morsel sizes is what actually forces steals through the new code paths.
+#[test]
+fn differential_all_engines_across_skew_threads_schedulers() {
+    for seed in [11u64, 12] {
+        for theta in [0.0f64, 0.4, 0.99] {
+            let ds = MicroSpec::static_counts(600, 600)
+                .dupe(6)
+                .skew_key(theta)
+                .seed(seed)
+                .generate();
+            let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+            for threads in [1usize, 2, 4] {
+                for sched in Scheduler::ALL {
+                    for algo in Algorithm::STUDIED {
+                        let cfg = RunConfig::with_threads(threads)
+                            .record_all()
+                            .speedup(500.0)
+                            .scheduler(sched)
+                            .morsel_size(64);
+                        let result = execute(algo, &ds, &cfg);
+                        assert_eq!(
+                            canonical(&result),
+                            expect,
+                            "{algo} diverged (seed={seed} θ={theta} \
+                             threads={threads} scheduler={sched})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
