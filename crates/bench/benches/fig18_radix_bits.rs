@@ -1,9 +1,10 @@
 //! Figure 18: PRJ radix-bit sweep (#r = 8..18) — the partitioning-cost vs
-//! probe-cost trade-off. Static Micro, cycles per input tuple.
+//! probe-cost trade-off. Static Micro, cycles per input tuple, run once
+//! per scatter mode so the direct-vs-SWWC ablation shares the sweep.
 
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
 use iawj_common::Phase;
-use iawj_core::{execute, Algorithm};
+use iawj_core::{execute, Algorithm, ScatterMode};
 use iawj_datagen::MicroSpec;
 use iawj_exec::NOMINAL_GHZ;
 
@@ -19,18 +20,29 @@ fn main() {
         .generate();
     let mut rows = Vec::new();
     for &bits in &BITS {
-        let mut cfg = env.config();
-        cfg.prj.radix_bits = bits;
-        let res = execute(Algorithm::Prj, &ds, &cfg);
-        let per = 1.0 / res.total_inputs.max(1) as f64;
-        rows.push(vec![
-            bits.to_string(),
-            fmt(res.breakdown.cycles(Phase::Partition, NOMINAL_GHZ) * per),
-            fmt((res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ)
-                + res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ))
-                * per),
-            fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
-        ]);
+        let mut row = vec![bits.to_string()];
+        for mode in ScatterMode::ALL {
+            let mut cfg = env.config();
+            cfg.prj.radix_bits = bits;
+            cfg.prj.scatter = mode;
+            let res = execute(Algorithm::Prj, &ds, &cfg);
+            let per = 1.0 / res.total_inputs.max(1) as f64;
+            row.push(fmt(
+                res.breakdown.cycles(Phase::Partition, NOMINAL_GHZ) * per
+            ));
+            if mode == ScatterMode::Direct {
+                // Build+probe and total are scatter-invariant; report them
+                // once, from the direct run.
+                row.push(fmt((res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ)
+                    + res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ))
+                    * per));
+                row.push(fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per));
+            }
+        }
+        rows.push(row);
     }
-    print_table(&["#r", "partition", "build+probe", "total"], &rows);
+    print_table(
+        &["#r", "part(direct)", "build+probe", "total", "part(swwc)"],
+        &rows,
+    );
 }

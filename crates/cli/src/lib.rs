@@ -51,7 +51,8 @@ RUN OPTIONS (run, sweep, trace):
   --group-size N     JB group size (default 2)
   --scalar-sort      disable the vectorizable sort backend
   --scheduler MODE   work distribution: static|steal (default static)
-  --morsel-size N    steal-mode morsel size in tuples (default 1024)
+  --morsel-size N    steal-mode morsel size in tuples (default 1024, must be >0)
+  --scatter MODE     PRJ scatter path: direct|swwc (default direct)
   --json             machine-readable output
   --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker)
   --metrics-out FILE write a JSONL metrics journal (histogram, phases)

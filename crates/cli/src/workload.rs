@@ -1,7 +1,7 @@
 //! Building datasets and run configurations from CLI options.
 
 use crate::args::{ArgError, Args};
-use iawj_core::{Algorithm, RunConfig, Scheduler};
+use iawj_core::{Algorithm, RunConfig, ScatterMode, Scheduler};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
 use iawj_exec::SortBackend;
 
@@ -23,6 +23,7 @@ pub const RUN_OPTS: &[&str] = &[
     "eager-merge",
     "scheduler",
     "morsel-size",
+    "scatter",
     "json",
     "trace-out",
     "metrics-out",
@@ -160,6 +161,20 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
         })?;
     }
     cfg.sched.morsel_size = args.get_or("morsel-size", cfg.sched.morsel_size)?;
+    if cfg.sched.morsel_size == 0 {
+        return Err(ArgError::Invalid {
+            key: "morsel-size".into(),
+            value: "0".into(),
+            expected: "a positive tuple count",
+        });
+    }
+    if let Some(v) = args.get("scatter") {
+        cfg.prj.scatter = v.parse::<ScatterMode>().map_err(|_| ArgError::Invalid {
+            key: "scatter".into(),
+            value: v.into(),
+            expected: "direct|swwc",
+        })?;
+    }
     // Trace export needs per-worker span journals.
     cfg.journal = args.get("trace-out").is_some();
     Ok(cfg)
@@ -225,5 +240,20 @@ mod tests {
         assert_eq!(cfg.sched.scheduler, Scheduler::Steal);
         assert_eq!(cfg.sched.morsel_size, 256);
         assert!(build_config(&parse("--scheduler adaptive")).is_err());
+        assert!(
+            build_config(&parse("--morsel-size 0")).is_err(),
+            "a zero morsel size must be rejected at the flag level"
+        );
+    }
+
+    #[test]
+    fn scatter_knob() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert_eq!(cfg.prj.scatter, ScatterMode::Direct);
+        let cfg = build_config(&parse("--scatter swwc")).unwrap();
+        assert_eq!(cfg.prj.scatter, ScatterMode::Swwc);
+        let cfg = build_config(&parse("--scatter direct")).unwrap();
+        assert_eq!(cfg.prj.scatter, ScatterMode::Direct);
+        assert!(build_config(&parse("--scatter buffered")).is_err());
     }
 }

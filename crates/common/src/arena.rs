@@ -1,0 +1,214 @@
+//! Chunked output arena: append-only storage that never reallocates.
+//!
+//! `Vec::push` amortises to O(1) but pays for it with doubling reallocations
+//! — every growth step is an allocator round-trip plus a full `memcpy` of
+//! everything recorded so far, right on the match hot path. For a
+//! high-selectivity workload (Rovio produces orders of magnitude more
+//! matches than inputs) those copies re-stream the entire result set through
+//! the cache hierarchy several times over. [`ChunkedVec`] instead keeps a
+//! list of fixed-capacity chunks: `push` writes into the tail chunk and, at
+//! worst, allocates a fresh chunk — existing elements are never moved, so
+//! the write side stays one store per match and the cache footprint is the
+//! tail chunk, not the whole history.
+
+/// Default elements per chunk. At 24-byte match records this is ~24 KiB per
+/// chunk — below the L1D, above allocator-churn territory.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+/// An append-only, indexable container that grows by whole fixed-size
+/// chunks instead of reallocating. All chunks except the last are exactly
+/// `chunk_cap` long, which is what makes O(1) indexing possible.
+#[derive(Clone, Debug)]
+pub struct ChunkedVec<T> {
+    chunks: Vec<Vec<T>>,
+    chunk_cap: usize,
+}
+
+impl<T> ChunkedVec<T> {
+    /// Empty arena with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_CHUNK)
+    }
+
+    /// Empty arena growing `chunk_cap` elements at a time (clamped to ≥1).
+    pub fn with_chunk_capacity(chunk_cap: usize) -> Self {
+        ChunkedVec {
+            chunks: Vec::new(),
+            chunk_cap: chunk_cap.max(1),
+        }
+    }
+
+    /// Elements stored.
+    pub fn len(&self) -> usize {
+        match self.chunks.last() {
+            None => 0,
+            Some(tail) => (self.chunks.len() - 1) * self.chunk_cap + tail.len(),
+        }
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// The configured chunk capacity.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// Append one element. Never moves previously stored elements; at most
+    /// allocates one fresh chunk.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        match self.chunks.last_mut() {
+            Some(tail) if tail.len() < self.chunk_cap => tail.push(value),
+            _ => {
+                let mut chunk = Vec::with_capacity(self.chunk_cap);
+                chunk.push(value);
+                self.chunks.push(chunk);
+            }
+        }
+    }
+
+    /// Iterate over the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Drop all elements, keeping nothing allocated.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+
+    /// Flatten into a plain `Vec` (one final copy, off the hot path).
+    pub fn into_vec(self) -> Vec<T> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend(self.chunks.into_iter().flatten());
+        v
+    }
+}
+
+impl<T> Default for ChunkedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for ChunkedVec<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.chunks[i / self.chunk_cap][i % self.chunk_cap]
+    }
+}
+
+impl<T> Extend<T> for ChunkedVec<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T> FromIterator<T> for ChunkedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut c = ChunkedVec::new();
+        c.extend(iter);
+        c
+    }
+}
+
+impl<T> IntoIterator for ChunkedVec<T> {
+    type Item = T;
+    type IntoIter = std::iter::Flatten<std::vec::IntoIter<Vec<T>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.into_iter().flatten()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a ChunkedVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<T>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flatten()
+    }
+}
+
+impl<T: PartialEq> PartialEq for ChunkedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index_across_chunk_boundaries() {
+        let mut c = ChunkedVec::with_chunk_capacity(4);
+        for i in 0..11 {
+            c.push(i);
+        }
+        assert_eq!(c.len(), 11);
+        assert!(!c.is_empty());
+        for i in 0..11 {
+            assert_eq!(c[i], i);
+        }
+        assert_eq!(
+            c.iter().copied().collect::<Vec<_>>(),
+            (0..11).collect::<Vec<_>>()
+        );
+        assert_eq!(c.into_vec(), (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn elements_never_move_once_pushed() {
+        // The arena's whole point: record each element's address at push
+        // time and verify every one is still there after 10k more pushes.
+        let mut c = ChunkedVec::with_chunk_capacity(64);
+        let mut addrs = Vec::new();
+        for i in 0..10_000usize {
+            c.push(i);
+            addrs.push(&c[i] as *const usize);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(unsafe { *a }, i, "element {i} moved");
+            assert_eq!(&c[i] as *const usize, a);
+        }
+    }
+
+    #[test]
+    fn owned_and_borrowed_iteration_agree() {
+        let c: ChunkedVec<u32> = (0..100).collect();
+        let borrowed: Vec<u32> = (&c).into_iter().copied().collect();
+        let owned: Vec<u32> = c.into_iter().collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn extend_clear_and_equality() {
+        let mut a = ChunkedVec::with_chunk_capacity(3);
+        a.extend([1, 2, 3, 4, 5]);
+        // Equality is element-wise, independent of chunk capacity.
+        let b: ChunkedVec<i32> = (1..=5).collect();
+        assert_eq!(a, b);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_chunk_capacity_is_clamped() {
+        let mut c = ChunkedVec::with_chunk_capacity(0);
+        assert_eq!(c.chunk_capacity(), 1);
+        c.push('x');
+        c.push('y');
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[1], 'y');
+    }
+}

@@ -11,6 +11,7 @@
 //! same seed produce byte-identical streams, which is what makes the
 //! correctness tests of the eight join algorithms meaningful.
 
+pub mod arena;
 pub mod columnar;
 pub mod hash;
 pub mod phase;
@@ -22,6 +23,7 @@ pub mod tuple;
 pub mod window;
 pub mod zipf;
 
+pub use arena::ChunkedVec;
 pub use columnar::ColumnarStream;
 pub use hash::hash_key;
 pub use phase::{Phase, PhaseBreakdown, PHASES};

@@ -112,8 +112,14 @@ impl P2Quantile {
 
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
-        self.heights[i]
-            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+        let dn = self.positions[j] - self.positions[i];
+        // Coincident markers would divide to ±inf/NaN and poison every
+        // later estimate; the marker has nowhere to move, so keep its
+        // height.
+        if dn == 0.0 {
+            return self.heights[i];
+        }
+        self.heights[i] + s * (self.heights[j] - self.heights[i]) / dn
     }
 
     /// Current estimate; `None` until five observations have arrived
@@ -122,8 +128,13 @@ impl P2Quantile {
         match self.count {
             0 => None,
             n @ 1..=4 => {
-                let mut v = self.warmup[..n].to_vec();
-                v.sort_by(|a, b| a.total_cmp(b));
+                // `estimate` may be polled per observation (latency
+                // dashboards do); a stack copy + in-place sort keeps the
+                // warmup path allocation-free.
+                let mut v = [0.0f64; 4];
+                v[..n].copy_from_slice(&self.warmup[..n]);
+                let v = &mut v[..n];
+                v.sort_unstable_by(|a, b| a.total_cmp(b));
                 let idx = ((n - 1) as f64 * self.q).round() as usize;
                 Some(v[idx])
             }
@@ -209,6 +220,55 @@ mod tests {
             est.observe(42.0);
         }
         assert_eq!(est.estimate(), Some(42.0));
+    }
+
+    /// Degenerate streams — long constant plateaus broken by jumps, values
+    /// pinned to the extremes — are where marker positions can collide and
+    /// the unguarded linear interpolation used to return NaN. Every
+    /// intermediate estimate must stay finite.
+    #[test]
+    fn degenerate_streams_never_produce_nan() {
+        let streams: Vec<Vec<f64>> = vec![
+            std::iter::repeat_n(5.0, 500)
+                .chain(std::iter::repeat_n(9.0, 7))
+                .chain(std::iter::repeat_n(5.0, 500))
+                .collect(),
+            (0..600)
+                .map(|i| if i % 97 == 0 { 1e9 } else { 0.0 })
+                .collect(),
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 1.0],
+        ];
+        for (si, s) in streams.iter().enumerate() {
+            for &q in &[0.05, 0.5, 0.95] {
+                let mut est = P2Quantile::new(q);
+                for (i, &x) in s.iter().enumerate() {
+                    est.observe(x);
+                    let e = est.estimate().unwrap();
+                    assert!(
+                        e.is_finite(),
+                        "stream {si} q={q}: estimate became {e} at obs {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Direct regression for the equal-positions guard: force coincident
+    /// marker positions and check linear() keeps the height finite.
+    #[test]
+    fn linear_interpolation_guards_equal_positions() {
+        let mut est = P2Quantile::new(0.5);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            est.observe(x);
+        }
+        est.positions = [1.0, 3.0, 3.0, 4.0, 6.0];
+        let up = est.linear(1, 1.0);
+        assert!(up.is_finite(), "linear(1,+1) with equal positions: {up}");
+        assert_eq!(up, est.heights[1], "height held in place");
+        est.positions = [1.0, 2.0, 2.0, 4.0, 6.0];
+        let down = est.linear(2, -1.0);
+        assert!(down.is_finite());
+        assert_eq!(down, est.heights[2]);
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl Rate {
 
     /// Number of tuples this rate yields over a window of `w` milliseconds;
     /// `None` for an infinite rate (cardinality must be given explicitly).
-    pub fn tuples_over(self, window_ms: u32) -> Option<usize> {
+    /// Takes the window width as `u64` so timestamp-width windows never
+    /// truncate, and saturates at `usize::MAX` on overflow (an `as` cast
+    /// from a finite `f64` is already saturating; NaN from `v * inf` cannot
+    /// occur since `v` is finite here).
+    pub fn tuples_over(self, window_ms: u64) -> Option<usize> {
         self.per_ms()
             .map(|v| (v * window_ms as f64).round() as usize)
     }
@@ -72,6 +76,23 @@ mod tests {
         assert_eq!(Rate::PerMs(61.0).tuples_over(1000), Some(61_000));
         assert_eq!(Rate::Infinite.tuples_over(1000), None);
         assert_eq!(Rate::PerMs(0.5).tuples_over(10), Some(5));
+    }
+
+    /// Regression: the parameter used to be `u32`, silently truncating
+    /// timestamp-width windows. A window wider than `u32::MAX` ms must
+    /// yield the full (rounded) product, and absurd products must saturate
+    /// rather than wrap.
+    #[test]
+    fn tuples_over_wide_windows_do_not_truncate() {
+        let w = u32::MAX as u64 + 10; // would wrap to 9 as u32
+        assert_eq!(Rate::PerMs(1.0).tuples_over(w), Some(w as usize));
+        assert_eq!(Rate::PerMs(0.0).tuples_over(w), Some(0));
+        assert_eq!(Rate::Infinite.tuples_over(w), None);
+        assert_eq!(
+            Rate::PerMs(f64::MAX).tuples_over(u64::MAX),
+            Some(usize::MAX),
+            "overflowing products saturate"
+        );
     }
 
     #[test]

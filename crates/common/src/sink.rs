@@ -8,6 +8,7 @@
 //! gigabytes (the paper's harness batches its RDTSC stamps for the same
 //! reason).
 
+use crate::arena::ChunkedVec;
 use crate::tuple::{Key, Ts};
 use iawj_obs::LogHistogram;
 
@@ -101,8 +102,9 @@ impl Sink for CollectingSink {
 pub struct CountingSink {
     count: u64,
     sample_every: u64,
-    /// Sampled matches (the first, then every `sample_every`-th).
-    pub samples: Vec<MatchRecord>,
+    /// Sampled matches (the first, then every `sample_every`-th), in a
+    /// chunked arena so recording never reallocates mid-run.
+    pub samples: ChunkedVec<MatchRecord>,
     /// Emission time of the last match seen, for end-to-end throughput.
     pub last_emit_ms: f64,
     /// Exact latency distribution over *all* matches (ns resolution).
@@ -115,7 +117,7 @@ impl CountingSink {
         CountingSink {
             count: 0,
             sample_every: sample_every.max(1),
-            samples: Vec::new(),
+            samples: ChunkedVec::new(),
             last_emit_ms: 0.0,
             hist: LogHistogram::new(),
         }

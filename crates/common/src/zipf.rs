@@ -41,13 +41,30 @@ impl Zipf {
                 cdf.push(acc);
             }
         } else {
-            for r in 0..n {
-                acc += 1.0 / ((r + 1) as f64).powf(theta);
-                cdf.push(acc);
+            // The harmonic weights 1/(r+1)^θ shrink with r, so a plain
+            // forward sum adds ever-smaller terms to an ever-larger
+            // accumulator and rounds the tail mass away for large n/θ.
+            // Kahan compensation keeps the running error at one ulp of the
+            // total regardless of n, for both the normalizer and the cdf.
+            let weight = |r: usize| 1.0 / ((r + 1) as f64).powf(theta);
+            let mut total = 0.0f64;
+            let mut comp = 0.0f64;
+            // Summing in reverse (ascending magnitude) costs nothing and
+            // removes even the single-ulp dependence on accumulation order.
+            for r in (0..n).rev() {
+                let y = weight(r) - comp;
+                let t = total + y;
+                comp = (t - total) - y;
+                total = t;
             }
-            let norm = 1.0 / acc;
-            for p in &mut cdf {
-                *p *= norm;
+            let norm = 1.0 / total;
+            comp = 0.0;
+            for r in 0..n {
+                let y = weight(r) * norm - comp;
+                let t = acc + y;
+                comp = (t - acc) - y;
+                acc = t;
+                cdf.push(acc);
             }
         }
         // Defend binary search against floating-point round-off at the tail.
@@ -149,6 +166,59 @@ mod tests {
             let z = Zipf::new(100, theta);
             let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
             assert!((total - 1.0).abs() < 1e-9, "theta={theta} total={total}");
+        }
+    }
+
+    /// The precision the Kahan/reverse accumulation buys: even over a large
+    /// domain, the pmf must sum to 1 within 1e-12 *and* every individual
+    /// rank's mass must match the analytic weight — the naive forward sum
+    /// loses the tail ranks' mass into round-off, which shows up as pmf
+    /// values drifting from `w_r / H_{n,θ}` long before the total does.
+    #[test]
+    fn pmf_matches_analytic_mass_over_large_domain() {
+        let n = 100_000usize;
+        for &theta in &[0.5, 0.99, 2.0] {
+            let z = Zipf::new(n, theta);
+            let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "theta={theta} total={total}");
+            // Reference normalizer, summed smallest-first in f64 (exact to
+            // an ulp for this monotone series).
+            let h: f64 = (0..n)
+                .rev()
+                .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
+                .sum();
+            for r in [0usize, 1, 9, 99, 9_999, n - 1] {
+                let analytic = 1.0 / ((r + 1) as f64).powf(theta) / h;
+                assert!(
+                    (z.pmf(r) - analytic).abs() < 1e-12,
+                    "theta={theta} rank={r}: pmf={} analytic={analytic}",
+                    z.pmf(r)
+                );
+            }
+        }
+    }
+
+    /// θ=0.99 (the paper's canonical skew point): observed frequencies over
+    /// a long run must track the analytic mass of the head ranks.
+    #[test]
+    fn empirical_frequencies_match_analytic_mass_at_theta_099() {
+        let n = 1000usize;
+        let draws = 400_000usize;
+        let z = Zipf::new(n, 0.99);
+        let mut rng = Rng::new(42);
+        let mut freq = vec![0u64; n];
+        for _ in 0..draws {
+            freq[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 2, 9, 99] {
+            let expect = z.pmf(r);
+            let got = freq[r] as f64 / draws as f64;
+            // Binomial std-dev is sqrt(p(1-p)/draws); allow 5 sigma.
+            let sigma = (expect * (1.0 - expect) / draws as f64).sqrt();
+            assert!(
+                (got - expect).abs() < 5.0 * sigma + 1e-4,
+                "rank {r}: empirical {got} vs analytic {expect}"
+            );
         }
     }
 

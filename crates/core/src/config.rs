@@ -2,7 +2,7 @@
 //! knobs of §5.5, and harness controls (time compression, match sampling).
 
 use iawj_exec::morsel::{MorselQueue, DEFAULT_MORSEL};
-use iawj_exec::{Scheduler, SortBackend};
+use iawj_exec::{ScatterMode, Scheduler, SortBackend};
 
 /// NPJ knobs (latching ablation; see DESIGN.md §5).
 #[derive(Clone, Copy, Debug, Default)]
@@ -20,9 +20,9 @@ pub struct PrjConfig {
     /// Split partitioning into two passes when `radix_bits` exceeds this
     /// (keeps first-pass fan-out within TLB reach, per Balkesen et al.).
     pub max_bits_per_pass: u32,
-    /// Scatter through software write-combining buffers (Balkesen et al.'s
-    /// SWWCB) instead of writing tuples directly to their partitions.
-    pub buffered_scatter: bool,
+    /// Scatter path: direct stores, or software write-combining buffers
+    /// (Balkesen et al.'s SWWCB) flushed a cache line at a time.
+    pub scatter: ScatterMode,
 }
 
 impl Default for PrjConfig {
@@ -30,7 +30,7 @@ impl Default for PrjConfig {
         PrjConfig {
             radix_bits: 10,
             max_bits_per_pass: 8,
-            buffered_scatter: false,
+            scatter: ScatterMode::Direct,
         }
     }
 }
@@ -240,6 +240,27 @@ impl RunConfig {
         self
     }
 
+    /// Builder: select the PRJ scatter path.
+    pub fn scatter(mut self, scatter: ScatterMode) -> Self {
+        self.prj.scatter = scatter;
+        self
+    }
+
+    /// Check the knobs that would otherwise fail far from their cause —
+    /// a zero morsel size would spin the morsel driver (or divide by zero
+    /// in grid-cell arithmetic), a zero thread count has no workers to run.
+    /// The runner calls this before dispatch; CLI parsing rejects the same
+    /// values with a flag-level error message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("thread count must be at least 1".into());
+        }
+        if self.sched.morsel_size == 0 {
+            return Err("morsel size must be at least 1 tuple".into());
+        }
+        Ok(())
+    }
+
     /// A journal for one worker, relative to `epoch`: ring-buffered at
     /// `journal_capacity` when journaling is on, disabled (allocation-free)
     /// otherwise.
@@ -328,6 +349,24 @@ mod tests {
         assert!((c.speedup - 10.0).abs() < 1e-9);
         assert!(c.sched.stealing());
         assert_eq!(c.sched.morsel_size, 256);
+    }
+
+    #[test]
+    fn validate_rejects_zero_morsel_and_threads() {
+        assert!(RunConfig::default().validate().is_ok());
+        let zero_morsel = RunConfig::default().morsel_size(0);
+        let err = zero_morsel.validate().unwrap_err();
+        assert!(err.contains("morsel"), "unexpected message: {err}");
+        let zero_threads = RunConfig::with_threads(0);
+        assert!(zero_threads.validate().is_err());
+    }
+
+    #[test]
+    fn scatter_builder_sets_prj_mode() {
+        let c = RunConfig::default();
+        assert_eq!(c.prj.scatter, ScatterMode::Direct);
+        let c = c.scatter(ScatterMode::Swwc);
+        assert_eq!(c.prj.scatter, ScatterMode::Swwc);
     }
 
     #[test]

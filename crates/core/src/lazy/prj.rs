@@ -16,6 +16,7 @@ use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::morsel::{for_each_morsel, MorselQueue, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::radix::{histogram, partition_seq, ScatterPlan, SharedOut};
+use iawj_exec::swwc::{ScatterMode, SwwcBuffers, MARK_FLUSH};
 use iawj_exec::{run_workers, LocalTable, PhaseTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -126,33 +127,64 @@ pub fn run(
         }
         plan_done.wait();
         let (r_plan, r_out, s_plan, s_out) = plans.get(0);
+        // SWWC mode: one write-combining buffer set per worker per side,
+        // reused across every chunk/cell this worker scatters (the scatter
+        // call drains it at each slot boundary, so reuse is residue-free).
+        let swwc = cfg.prj.scatter == ScatterMode::Swwc;
+        let mut wc = if swwc {
+            Some((SwwcBuffers::for_bits(bits1), SwwcBuffers::for_bits(bits1)))
+        } else {
+            None
+        };
         if stealing {
             steal_scan(&r_scatter_q, tid, &mut timer, |cells| {
                 for g in cells {
                     let c = &r[grid_chunk(r.len(), morsel, g)];
-                    if cfg.prj.buffered_scatter {
-                        r_plan.scatter_chunk_buffered(c, g, r_out);
-                    } else {
-                        r_plan.scatter_chunk(c, g, r_out);
+                    match &mut wc {
+                        Some((rb, _)) => r_plan.scatter_chunk_swwc(c, g, r_out, rb),
+                        None => r_plan.scatter_chunk(c, g, r_out),
                     }
                 }
             });
             steal_scan(&s_scatter_q, tid, &mut timer, |cells| {
                 for g in cells {
                     let c = &s[grid_chunk(s.len(), morsel, g)];
-                    if cfg.prj.buffered_scatter {
-                        s_plan.scatter_chunk_buffered(c, g, s_out);
-                    } else {
-                        s_plan.scatter_chunk(c, g, s_out);
+                    match &mut wc {
+                        Some((_, sb)) => s_plan.scatter_chunk_swwc(c, g, s_out, sb),
+                        None => s_plan.scatter_chunk(c, g, s_out),
                     }
                 }
             });
-        } else if cfg.prj.buffered_scatter {
-            r_plan.scatter_chunk_buffered(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
-            s_plan.scatter_chunk_buffered(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
         } else {
-            r_plan.scatter_chunk(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
-            s_plan.scatter_chunk(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
+            match &mut wc {
+                Some((rb, sb)) => {
+                    r_plan.scatter_chunk_swwc(
+                        &r[chunk_range(r.len(), threads, tid)],
+                        tid,
+                        r_out,
+                        rb,
+                    );
+                    s_plan.scatter_chunk_swwc(
+                        &s[chunk_range(s.len(), threads, tid)],
+                        tid,
+                        s_out,
+                        sb,
+                    );
+                }
+                None => {
+                    r_plan.scatter_chunk(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
+                    s_plan.scatter_chunk(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
+                }
+            }
+        }
+        if let Some((rb, sb)) = &wc {
+            // One journal mark per end-of-slot buffer drain (chunk in
+            // static mode, grid cell in steal mode), emitted after the
+            // scatter so the hot loop stays mark-free. Across workers the
+            // drain marks therefore count the scatter slots exactly.
+            for _ in 0..(rb.drains() + sb.drains()) {
+                timer.instant(MARK_FLUSH);
+            }
         }
         timer.switch_to(Phase::Other);
         scatter_done.wait();
@@ -301,17 +333,89 @@ mod tests {
     }
 
     #[test]
-    fn buffered_scatter_ablation_is_correct() {
+    fn swwc_scatter_ablation_is_correct() {
         let r = random_stream(2000, 1 << 10, 9);
         let s = random_stream(2000, 1 << 10, 10);
-        let mut cfg = RunConfig::with_threads(4).record_all();
-        cfg.prj.buffered_scatter = true;
+        let cfg = RunConfig::with_threads(4)
+            .record_all()
+            .scatter(ScatterMode::Swwc);
         let clock = EventClock::ungated();
         let outs = run(&r, &s, &cfg, &clock, 0);
         assert_eq!(
             canonical(&outs),
             nested_loop_join(&r, &s, Window::of_len(64))
         );
+    }
+
+    /// The scatter knob is an implementation ablation: both modes must
+    /// produce the identical match set under both schedulers and both pass
+    /// shapes.
+    #[test]
+    fn scatter_modes_agree_across_schedulers() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(2500, 1 << 10, 31);
+        let s = random_stream(2500, 1 << 10, 32);
+        let expect = nested_loop_join(&r, &s, Window::of_len(64));
+        for sched in Scheduler::ALL {
+            for mode in ScatterMode::ALL {
+                for (bits, per_pass) in [(6u32, 8u32), (10, 6)] {
+                    let mut cfg = RunConfig::with_threads(4)
+                        .record_all()
+                        .scheduler(sched)
+                        .morsel_size(128)
+                        .scatter(mode);
+                    cfg.prj.radix_bits = bits;
+                    cfg.prj.max_bits_per_pass = per_pass;
+                    let clock = EventClock::ungated();
+                    let outs = run(&r, &s, &cfg, &clock, 0);
+                    assert_eq!(
+                        canonical(&outs),
+                        expect,
+                        "scheduler={sched} scatter={mode} bits={bits}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// SWWC drains are journaled: one `swwc:flush` mark per scatter slot —
+    /// a chunk per worker per side in static mode, a grid cell per side in
+    /// steal mode.
+    #[test]
+    fn swwc_drains_are_journaled() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(1000, 128, 23);
+        let s = random_stream(1000, 128, 24);
+        let count_flush_marks = |outs: &[WorkerOut]| -> usize {
+            outs.iter()
+                .filter_map(|w| w.journal.as_ref())
+                .map(|j| j.count_marks(MARK_FLUSH))
+                .sum()
+        };
+        let mut cfg = RunConfig::with_threads(4)
+            .record_all()
+            .scatter(ScatterMode::Swwc)
+            .with_journal();
+        cfg.prj.radix_bits = 6;
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        assert_eq!(
+            count_flush_marks(&outs),
+            4 * 2,
+            "one drain per worker per side"
+        );
+
+        let mut cfg = RunConfig::with_threads(4)
+            .record_all()
+            .scheduler(Scheduler::Steal)
+            .morsel_size(100)
+            .scatter(ScatterMode::Swwc)
+            .with_journal();
+        cfg.prj.radix_bits = 6;
+        let clock = EventClock::ungated();
+        let outs = run(&r, &s, &cfg, &clock, 0);
+        // 10 grid cells per side, each drained exactly once.
+        assert_eq!(count_flush_marks(&outs), 10 + 10);
     }
 
     #[test]

@@ -22,6 +22,10 @@ use iawj_exec::run_workers;
 /// ungated. MWay and MPass get their thread count rounded down to a power
 /// of two, the constraint §5 imposes for fair comparison.
 ///
+/// # Panics
+/// Panics when [`RunConfig::validate`] rejects the configuration (zero
+/// threads or a zero morsel size).
+///
 /// ```
 /// use iawj_core::{execute, Algorithm, RunConfig};
 /// use iawj_datagen::MicroSpec;
@@ -34,6 +38,9 @@ use iawj_exec::run_workers;
 /// assert!(result.throughput_tpms() > 0.0);
 /// ```
 pub fn execute(algorithm: Algorithm, dataset: &Dataset, cfg: &RunConfig) -> RunResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RunConfig: {e}");
+    }
     let mut cfg = cfg.clone();
     if algorithm.needs_pow2_threads() && !cfg.threads.is_power_of_two() {
         cfg.threads = prev_pow2(cfg.threads);
@@ -147,6 +154,14 @@ mod tests {
             .dupe(4)
             .seed(11)
             .generate()
+    }
+
+    #[test]
+    #[should_panic(expected = "morsel size must be at least 1")]
+    fn zero_morsel_size_is_rejected_before_dispatch() {
+        let ds = small_static();
+        let cfg = RunConfig::with_threads(2).morsel_size(0);
+        let _ = execute(Algorithm::Prj, &ds, &cfg);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   run-provenance variant PMJ's merge phase needs.
 //! - [`hashtable`] — the shared bucket-chain table of NPJ and the
 //!   thread-local chained table used by PRJ and SHJ.
+//! - [`swwc`] — software write-combining scatter buffers and the cachesim
+//!   A/B harness validating their miss reduction (Fig. 18 / Table 5).
 
 pub mod hashtable;
 pub mod latch;
@@ -30,6 +32,7 @@ pub mod morsel;
 pub mod pool;
 pub mod radix;
 pub mod sort;
+pub mod swwc;
 pub mod timer;
 
 pub use hashtable::{LocalTable, SharedTable, StripedTable};
@@ -37,4 +40,5 @@ pub use latch::Latch;
 pub use morsel::{for_each_morsel, MorselQueue, MorselStats, Scheduler, DEFAULT_MORSEL};
 pub use pool::run_workers;
 pub use sort::SortBackend;
+pub use swwc::{ScatterMode, SwwcBuffers, SWWC_TUPLES_PER_LINE};
 pub use timer::{ns_to_cycles, PhaseTimer, NOMINAL_GHZ};

@@ -109,6 +109,22 @@ impl SharedOut {
         *(*self.buf.get()).as_mut_ptr().add(idx) = t;
     }
 
+    /// Bulk-copy `src` into consecutive slots starting at `idx` — the flush
+    /// primitive of the write-combining scatter; one `memcpy` per cache
+    /// line instead of [`SWWC_TUPLES_PER_LINE`](crate::swwc::SWWC_TUPLES_PER_LINE)
+    /// scalar stores.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedOut::write`], extended to the whole range
+    /// `idx..idx + src.len()`: it must be in bounds, owned exclusively by
+    /// the caller, and free of concurrent readers.
+    #[inline]
+    pub unsafe fn write_slice(&self, idx: usize, src: &[Tuple]) {
+        let buf = &mut *self.buf.get();
+        debug_assert!(idx + src.len() <= buf.len());
+        std::ptr::copy_nonoverlapping(src.as_ptr(), buf.as_mut_ptr().add(idx), src.len());
+    }
+
     /// View the contents.
     ///
     /// # Safety
@@ -180,41 +196,41 @@ impl ScatterPlan {
         }
     }
 
-    /// Software write-combining scatter (Balkesen et al.'s SWWCB): tuples
-    /// are staged in a cache-line-sized buffer per partition and flushed a
-    /// whole line at a time, so each partition costs one TLB entry per
-    /// flush instead of one per tuple. Output is identical to
-    /// [`ScatterPlan::scatter_chunk`], including within-partition order.
-    pub fn scatter_chunk_buffered(&self, chunk: &[Tuple], tid: usize, out: &SharedOut) {
-        /// Tuples per 64-byte cache line.
-        const LINE: usize = 8;
+    /// Software write-combining scatter (Balkesen et al.'s SWWCB) with
+    /// caller-provided buffers: tuples are staged in a cache-line-sized
+    /// buffer per partition and flushed a whole line at a time, so each
+    /// partition costs one TLB entry per flush instead of one per tuple.
+    /// Output is identical to [`ScatterPlan::scatter_chunk`], including
+    /// within-partition order — the buffers delay writes, never reorder
+    /// them. `bufs` must cover this plan's fan-out and arrive empty; the
+    /// trailing drain leaves it empty again, so one allocation serves every
+    /// chunk/cell a worker scatters.
+    pub fn scatter_chunk_swwc(
+        &self,
+        chunk: &[Tuple],
+        tid: usize,
+        out: &SharedOut,
+        bufs: &mut crate::swwc::SwwcBuffers,
+    ) {
+        assert_eq!(bufs.fanout(), self.fanout, "buffers sized for another plan");
         let f = self.fanout;
         let mut cursor = self.starts[tid * f..(tid + 1) * f].to_vec();
-        let mut bufs = vec![[Tuple::default(); LINE]; f];
-        let mut fill = vec![0u8; f];
         for t in chunk {
             let p = partition_of(t.key, self.shift, self.bits);
-            let n = fill[p] as usize;
-            bufs[p][n] = *t;
-            if n + 1 == LINE {
-                // SAFETY: same disjointness argument as scatter_chunk —
-                // cursor[p] stays within this (tid, p) range; a full line
-                // advances it by LINE.
-                for (i, bt) in bufs[p].iter().enumerate() {
-                    unsafe { out.write(cursor[p] + i, *bt) };
-                }
-                cursor[p] += LINE;
-                fill[p] = 0;
-            } else {
-                fill[p] = (n + 1) as u8;
-            }
+            // SAFETY: same disjointness argument as scatter_chunk — the
+            // staged line flushes into cursor[p]..cursor[p]+LINE, which
+            // stays within this (tid, p) range.
+            unsafe { bufs.stage(p, *t, &mut cursor, out) };
         }
-        for p in 0..f {
-            for (i, bt) in bufs[p][..fill[p] as usize].iter().enumerate() {
-                // SAFETY: flushes the partial tail within the same range.
-                unsafe { out.write(cursor[p] + i, *bt) };
-            }
-        }
+        // SAFETY: drains the partial tails within the same ranges.
+        unsafe { bufs.flush(&mut cursor, out) };
+    }
+
+    /// [`ScatterPlan::scatter_chunk_swwc`] with freshly allocated buffers —
+    /// the one-shot form used by single-chunk ablations and benchmarks.
+    pub fn scatter_chunk_buffered(&self, chunk: &[Tuple], tid: usize, out: &SharedOut) {
+        let mut bufs = crate::swwc::SwwcBuffers::new(self.fanout);
+        self.scatter_chunk_swwc(chunk, tid, out, &mut bufs);
     }
 }
 
@@ -251,6 +267,46 @@ pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usiz
             &tuples[chunk_range(tuples.len(), threads, tid)],
             tid,
             out_ref,
+        );
+    });
+    Partitioned {
+        data: out.into_vec(),
+        bounds: plan.bounds,
+    }
+}
+
+/// [`partition_parallel`] with the software write-combining scatter: same
+/// histogram and prefix-sum passes, but each worker scatters through one
+/// reused [`SwwcBuffers`](crate::swwc::SwwcBuffers) allocation. Output is
+/// bitwise-identical to [`partition_parallel`] and [`partition_seq`].
+pub fn partition_parallel_swwc(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+) -> Partitioned {
+    assert!(threads > 0);
+    if threads == 1 || tuples.len() < 1024 {
+        return partition_seq_buffered(tuples, shift, bits);
+    }
+    let hists: Vec<Vec<u32>> = run_workers(threads, |tid| {
+        histogram(
+            &tuples[chunk_range(tuples.len(), threads, tid)],
+            shift,
+            bits,
+        )
+    });
+    let plan = ScatterPlan::from_histograms(&hists, shift, bits);
+    debug_assert_eq!(plan.total(), tuples.len());
+    let out = SharedOut::new(tuples.len());
+    let (plan_ref, out_ref) = (&plan, &out);
+    run_workers(threads, |tid| {
+        let mut bufs = crate::swwc::SwwcBuffers::new(plan_ref.fanout);
+        plan_ref.scatter_chunk_swwc(
+            &tuples[chunk_range(tuples.len(), threads, tid)],
+            tid,
+            out_ref,
+            &mut bufs,
         );
     });
     Partitioned {
@@ -312,6 +368,64 @@ pub fn partition_parallel_morsel(
         for_each_morsel(&scatter_q, tid, |claimed, _| {
             for g in claimed {
                 plan_ref.scatter_chunk(cell(g), g, out_ref);
+            }
+        });
+    });
+    Partitioned {
+        data: out.into_vec(),
+        bounds: plan.bounds,
+    }
+}
+
+/// [`partition_parallel_morsel`] with the software write-combining scatter.
+/// Each worker keeps one [`SwwcBuffers`](crate::swwc::SwwcBuffers) for the
+/// whole pass; because every grid cell owns its own scatter-plan slot, the
+/// buffers are drained at each cell boundary (inside
+/// [`ScatterPlan::scatter_chunk_swwc`]) and the output stays bitwise
+/// identical to the direct morsel scatter regardless of which worker claims
+/// which cell.
+pub fn partition_parallel_morsel_swwc(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    morsel: usize,
+) -> Partitioned {
+    use crate::morsel::{for_each_morsel, MorselQueue};
+    assert!(threads > 0);
+    if threads == 1 || tuples.len() < 1024 {
+        return partition_seq_buffered(tuples, shift, bits);
+    }
+    let m = morsel.max(1);
+    let cells = tuples.len().div_ceil(m);
+    let cell = |g: usize| &tuples[g * m..((g + 1) * m).min(tuples.len())];
+
+    let hist_q = MorselQueue::new(cells, threads, 1);
+    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = run_workers(threads, |tid| {
+        let mut local = Vec::new();
+        for_each_morsel(&hist_q, tid, |claimed, _| {
+            for g in claimed {
+                local.push((g, histogram(cell(g), shift, bits)));
+            }
+        });
+        local
+    });
+    let mut hists = vec![Vec::new(); cells];
+    for (g, h) in per_worker.into_iter().flatten() {
+        hists[g] = h;
+    }
+
+    let plan = ScatterPlan::from_histograms(&hists, shift, bits);
+    debug_assert_eq!(plan.total(), tuples.len());
+
+    let out = SharedOut::new(tuples.len());
+    let scatter_q = MorselQueue::new(cells, threads, 1);
+    let (plan_ref, out_ref) = (&plan, &out);
+    run_workers(threads, |tid| {
+        let mut bufs = crate::swwc::SwwcBuffers::new(plan_ref.fanout);
+        for_each_morsel(&scatter_q, tid, |claimed, _| {
+            for g in claimed {
+                plan_ref.scatter_chunk_swwc(cell(g), g, out_ref, &mut bufs);
             }
         });
     });
@@ -536,6 +650,55 @@ mod tests {
         let data = out.into_vec();
         let expect = partition_parallel(&input, 0, 6, threads);
         assert_eq!(data, expect.data);
+    }
+
+    #[test]
+    fn swwc_parallel_is_bitwise_identical() {
+        let input = random_tuples(20_000, 1 << 14, 2);
+        let seq = partition_seq(&input, 0, 6);
+        for threads in [1usize, 2, 4, 7] {
+            let swwc = partition_parallel_swwc(&input, 0, 6, threads);
+            assert_eq!(seq.bounds, swwc.bounds, "threads={threads}");
+            assert_eq!(seq.data, swwc.data, "threads={threads}");
+            for morsel in [128usize, 500, 4096] {
+                let stolen = partition_parallel_morsel_swwc(&input, 0, 6, threads, morsel);
+                assert_eq!(seq.data, stolen.data, "threads={threads} morsel={morsel}");
+            }
+        }
+    }
+
+    /// Flush-boundary cases: partition counts that are not a multiple of
+    /// the line capacity, so every partial-drain path runs — a lone
+    /// under-filled line, exactly one line, one line plus a remainder, and
+    /// a chunk split mid-line across scatter slots.
+    #[test]
+    fn swwc_flushes_partial_lines_correctly() {
+        use crate::swwc::SWWC_TUPLES_PER_LINE;
+        let line = SWWC_TUPLES_PER_LINE as u32;
+        for per_part in [1u32, 3, line - 1, line, line + 1, 3 * line + 5] {
+            let input: Vec<Tuple> = (0..per_part)
+                .flat_map(|i| (0..4u32).map(move |k| Tuple::new(k, i)))
+                .collect();
+            let plain = partition_seq(&input, 0, 2);
+            let hist = histogram(&input, 0, 2);
+            let plan = ScatterPlan::from_histograms(std::slice::from_ref(&hist), 0, 2);
+            let out = SharedOut::new(input.len());
+            let mut bufs = crate::swwc::SwwcBuffers::new(plan.fanout);
+            plan.scatter_chunk_swwc(&input, 0, &out, &mut bufs);
+            assert_eq!(out.into_vec(), plain.data, "per_part={per_part}");
+        }
+        // Reusing one worker's buffers across several chunks must leave no
+        // residue: drive two slots back-to-back through the same buffers.
+        let input = random_tuples(1000, 64, 13);
+        let (a, b) = input.split_at(437); // splits mid-line for most partitions
+        let hists = vec![histogram(a, 0, 4), histogram(b, 0, 4)];
+        let plan = ScatterPlan::from_histograms(&hists, 0, 4);
+        let out = SharedOut::new(input.len());
+        let mut bufs = crate::swwc::SwwcBuffers::new(plan.fanout);
+        plan.scatter_chunk_swwc(a, 0, &out, &mut bufs);
+        plan.scatter_chunk_swwc(b, 1, &out, &mut bufs);
+        assert!(bufs.line_flushes() > 0, "full lines must have flushed");
+        assert_eq!(out.into_vec(), partition_seq(&input, 0, 4).data);
     }
 
     #[test]

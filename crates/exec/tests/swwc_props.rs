@@ -1,0 +1,67 @@
+//! Property tests of the software write-combining scatter: across arbitrary
+//! inputs, radix parameters, and worker counts, the SWWC partitioners must
+//! be *bitwise identical* to the sequential direct scatter — same bounds,
+//! same data, same within-partition tuple order. Flush boundaries (chunks
+//! and partitions that are not multiples of the line capacity) fall out of
+//! the generated sizes; the targeted edge cases live in `radix.rs`'s unit
+//! tests.
+
+use iawj_common::Tuple;
+use iawj_exec::radix::{
+    partition_parallel_morsel_swwc, partition_parallel_swwc, partition_seq, partition_seq_buffered,
+};
+use proptest::prelude::*;
+
+fn tuples(n: usize, seed: u64, key_space: u32) -> Vec<Tuple> {
+    let mut rng = iawj_common::Rng::new(seed);
+    (0..n)
+        .map(|i| Tuple::new(rng.next_u32() % key_space.max(1), i as u32))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn swwc_partition_is_bitwise_identical_to_seq(
+        n in 0usize..6000,
+        seed in 0u64..1000,
+        bits in 1u32..9,
+        shift in 0u32..9,
+        threads in 1usize..7) {
+        let input = tuples(n, seed, 1 << 14);
+        let expect = partition_seq(&input, shift, bits);
+        let seq_buf = partition_seq_buffered(&input, shift, bits);
+        prop_assert_eq!(&expect.bounds, &seq_buf.bounds);
+        prop_assert_eq!(&expect.data, &seq_buf.data);
+        let par = partition_parallel_swwc(&input, shift, bits, threads);
+        prop_assert_eq!(&expect.bounds, &par.bounds);
+        prop_assert_eq!(&expect.data, &par.data);
+    }
+
+    #[test]
+    fn swwc_morsel_partition_is_bitwise_identical_to_seq(
+        n in 0usize..6000,
+        seed in 0u64..1000,
+        bits in 1u32..9,
+        threads in 1usize..7,
+        morsel in 1usize..2000) {
+        let input = tuples(n, seed, 1 << 14);
+        let expect = partition_seq(&input, 0, bits);
+        let stolen = partition_parallel_morsel_swwc(&input, 0, bits, threads, morsel);
+        prop_assert_eq!(&expect.bounds, &stolen.bounds);
+        prop_assert_eq!(&expect.data, &stolen.data);
+    }
+
+    #[test]
+    fn swwc_handles_skewed_single_partition_inputs(
+        n in 0usize..4000,
+        key in 0u32..16,
+        threads in 1usize..5) {
+        // All tuples land in one partition: the worst flush-boundary case,
+        // since one buffer absorbs the entire input as n/8 full lines plus
+        // a partial tail.
+        let input: Vec<Tuple> = (0..n).map(|i| Tuple::new(key, i as u32)).collect();
+        let expect = partition_seq(&input, 0, 4);
+        let par = partition_parallel_swwc(&input, 0, 4, threads);
+        prop_assert_eq!(&expect.data, &par.data);
+    }
+}
