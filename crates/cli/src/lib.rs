@@ -53,6 +53,7 @@ RUN OPTIONS (run, sweep, trace):
   --scheduler MODE   work distribution: static|steal (default static)
   --morsel-size N    steal-mode morsel size in tuples (default 1024, must be >0)
   --scatter MODE     PRJ scatter path: direct|swwc (default direct)
+  --npj-table MODE   NPJ shared table: latch|lockfree (default latch)
   --json             machine-readable output
   --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker)
   --metrics-out FILE write a JSONL metrics journal (histogram, phases)
@@ -338,6 +339,47 @@ mod tests {
         .unwrap();
         assert!(out.contains("algorithm:     NPJ"), "{out}");
         assert!(out.contains("matches:       2500"), "{out}");
+    }
+
+    #[test]
+    fn run_with_lockfree_npj_table() {
+        let out = run_cli_str(&[
+            "run",
+            "--algo",
+            "NPJ",
+            "--static",
+            "--count-r",
+            "500",
+            "--count-s",
+            "500",
+            "--dupe",
+            "5",
+            "--threads",
+            "2",
+            "--npj-table",
+            "lockfree",
+        ])
+        .unwrap();
+        assert!(out.contains("matches:       2500"), "{out}");
+    }
+
+    #[test]
+    fn unknown_npj_table_mode_is_rejected() {
+        let err = run_cli_str(&[
+            "run",
+            "--algo",
+            "NPJ",
+            "--static",
+            "--count-r",
+            "100",
+            "--count-s",
+            "100",
+            "--npj-table",
+            "mutex",
+        ])
+        .unwrap_err();
+        assert!(err.contains("npj-table"), "{err}");
+        assert!(err.contains("latch|lockfree"), "{err}");
     }
 
     #[test]

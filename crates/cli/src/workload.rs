@@ -1,7 +1,7 @@
 //! Building datasets and run configurations from CLI options.
 
 use crate::args::{ArgError, Args};
-use iawj_core::{Algorithm, RunConfig, ScatterMode, Scheduler};
+use iawj_core::{Algorithm, NpjTable, RunConfig, ScatterMode, Scheduler};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
 use iawj_exec::SortBackend;
 
@@ -24,6 +24,7 @@ pub const RUN_OPTS: &[&str] = &[
     "scheduler",
     "morsel-size",
     "scatter",
+    "npj-table",
     "json",
     "trace-out",
     "metrics-out",
@@ -175,6 +176,13 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
             expected: "direct|swwc",
         })?;
     }
+    if let Some(v) = args.get("npj-table") {
+        cfg.npj.table = v.parse::<NpjTable>().map_err(|_| ArgError::Invalid {
+            key: "npj-table".into(),
+            value: v.into(),
+            expected: "latch|lockfree",
+        })?;
+    }
     // Trace export needs per-worker span journals.
     cfg.journal = args.get("trace-out").is_some();
     Ok(cfg)
@@ -244,6 +252,17 @@ mod tests {
             build_config(&parse("--morsel-size 0")).is_err(),
             "a zero morsel size must be rejected at the flag level"
         );
+    }
+
+    #[test]
+    fn npj_table_knob() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert_eq!(cfg.npj.table, NpjTable::Latch);
+        let cfg = build_config(&parse("--npj-table lockfree")).unwrap();
+        assert_eq!(cfg.npj.table, NpjTable::LockFree);
+        let cfg = build_config(&parse("--npj-table latch")).unwrap();
+        assert_eq!(cfg.npj.table, NpjTable::Latch);
+        assert!(build_config(&parse("--npj-table mutex")).is_err());
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //! knobs of §5.5, and harness controls (time compression, match sampling).
 
 use iawj_exec::morsel::{MorselQueue, DEFAULT_MORSEL};
-use iawj_exec::{ScatterMode, Scheduler, SortBackend};
+use iawj_exec::{NpjTable, ScatterMode, Scheduler, SortBackend};
 
 /// NPJ knobs (latching ablation; see DESIGN.md §5).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NpjConfig {
+    /// Which shared table the build phase fills: per-bucket latched (the
+    /// paper's default) or lock-free CAS-chained (the Fig. 8 A/B).
+    pub table: NpjTable,
     /// Use a striped-latch shared table with this many latches instead of
-    /// the default per-bucket latches.
+    /// the default per-bucket latches. Latch mode only — incompatible with
+    /// [`NpjTable::LockFree`], which has no latches to stripe.
     pub striped_latches: Option<usize>,
 }
 
@@ -246,6 +250,12 @@ impl RunConfig {
         self
     }
 
+    /// Builder: select the NPJ shared-table mode.
+    pub fn npj_table(mut self, table: NpjTable) -> Self {
+        self.npj.table = table;
+        self
+    }
+
     /// Check the knobs that would otherwise fail far from their cause —
     /// a zero morsel size would spin the morsel driver (or divide by zero
     /// in grid-cell arithmetic), a zero thread count has no workers to run.
@@ -257,6 +267,11 @@ impl RunConfig {
         }
         if self.sched.morsel_size == 0 {
             return Err("morsel size must be at least 1 tuple".into());
+        }
+        if self.npj.table == NpjTable::LockFree && self.npj.striped_latches.is_some() {
+            return Err("striped latches require the latched NPJ table; \
+                 the lock-free table has no latches to stripe"
+                .into());
         }
         Ok(())
     }
@@ -367,6 +382,29 @@ mod tests {
         assert_eq!(c.prj.scatter, ScatterMode::Direct);
         let c = c.scatter(ScatterMode::Swwc);
         assert_eq!(c.prj.scatter, ScatterMode::Swwc);
+    }
+
+    #[test]
+    fn npj_table_builder_defaults_to_latch() {
+        let c = RunConfig::default();
+        assert_eq!(c.npj.table, NpjTable::Latch);
+        let c = c.npj_table(NpjTable::LockFree);
+        assert_eq!(c.npj.table, NpjTable::LockFree);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_striped_latches_with_lockfree_table() {
+        let mut c = RunConfig::default().npj_table(NpjTable::LockFree);
+        c.npj.striped_latches = Some(64);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("striped"), "unexpected message: {err}");
+        // Each knob alone stays valid.
+        c.npj.table = NpjTable::Latch;
+        assert!(c.validate().is_ok());
+        c.npj.striped_latches = None;
+        c.npj.table = NpjTable::LockFree;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

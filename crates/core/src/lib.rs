@@ -44,6 +44,6 @@ pub mod windowing;
 pub use algo::Algorithm;
 pub use clock::EventClock;
 pub use config::{RunConfig, SchedConfig};
-pub use iawj_exec::{ScatterMode, Scheduler};
+pub use iawj_exec::{NpjTable, ScatterMode, Scheduler};
 pub use output::RunResult;
 pub use runner::execute;

@@ -6,15 +6,20 @@ use crate::output::RunResult;
 /// Quantile processing latency in stream ms (the paper reports the 95th
 /// percentile worst-case latency, after Karimov et al.). Computed over the
 /// sampled matches; `None` when no matches were sampled.
+///
+/// Uses the nearest-rank convention — the value at rank `⌈q·n⌉` (1-based,
+/// clamped to `[1, n]`) — matching [`latency_quantile_exact_ms`]'s
+/// histogram so the two paths answer the same question and differ only by
+/// the histogram's bucket error. An O(n) selection, no full sort.
 pub fn latency_quantile_ms(result: &RunResult, q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
     if result.samples.is_empty() {
         return None;
     }
     let mut lat: Vec<f64> = result.samples.iter().map(|m| m.latency_ms()).collect();
-    lat.sort_by(|a, b| a.total_cmp(b));
-    let idx = ((lat.len() - 1) as f64 * q).round() as usize;
-    Some(lat[idx])
+    let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+    let (_, v, _) = lat.select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
+    Some(*v)
 }
 
 /// Progressiveness curve: cumulative fraction of matches delivered as a
@@ -60,7 +65,18 @@ pub fn latency_max_ms(result: &RunResult) -> Option<f64> {
 /// Stream time at which `fraction` of all matches had been delivered —
 /// e.g. the "time to 50% of matches" comparisons of §5.2. `None` when the
 /// curve never reaches the fraction (sampling granularity or no matches).
+///
+/// A fraction ≤ 0 is satisfied before anything is delivered, so it returns
+/// `Some(0.0)` rather than the first match's emit time.
+///
+/// # Panics
+/// Panics on a NaN `fraction` — every float comparison against NaN is
+/// false, which would silently return the first curve point.
 pub fn time_to_fraction_ms(result: &RunResult, fraction: f64) -> Option<f64> {
+    assert!(!fraction.is_nan(), "fraction must not be NaN");
+    if fraction <= 0.0 {
+        return Some(0.0);
+    }
     progressiveness(result)
         .into_iter()
         .find(|&(_, f)| f >= fraction)
@@ -120,6 +136,67 @@ mod tests {
     fn latency_none_without_samples() {
         let r = run_with(&[], 1, 0);
         assert!(latency_quantile_ms(&r, 0.95).is_none());
+    }
+
+    #[test]
+    fn latency_quantile_is_nearest_rank() {
+        // 4 samples: nearest rank ⌈q·4⌉ picks an actual sample, never an
+        // interpolated or rounded-up index.
+        let samples: Vec<(f64, u32)> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&l| (l, 0u32))
+            .collect();
+        let r = run_with(&samples, 1, 4);
+        // q=0.5 → rank 2 → 20.0 (the `.round()` convention gave 30.0 via
+        // index round(1.5)=2).
+        assert_eq!(latency_quantile_ms(&r, 0.5).unwrap(), 20.0);
+        assert_eq!(latency_quantile_ms(&r, 0.25).unwrap(), 10.0);
+        assert_eq!(latency_quantile_ms(&r, 0.26).unwrap(), 20.0);
+        assert_eq!(latency_quantile_ms(&r, 0.75).unwrap(), 30.0);
+        assert_eq!(latency_quantile_ms(&r, 1.0).unwrap(), 40.0);
+        assert_eq!(latency_quantile_ms(&r, 0.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn sampled_and_exact_quantiles_agree() {
+        // Regression for the convention mismatch: with every match sampled,
+        // the sampled path and the histogram path must answer within one
+        // histogram bucket width (≤ 1/128 relative) of each other at every
+        // quantile.
+        let samples: Vec<(f64, u32)> = (1..=500).map(|i| (i as f64, 0u32)).collect();
+        let r = run_with(&samples, 1, 500);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let sampled = latency_quantile_ms(&r, q).unwrap();
+            let exact = latency_quantile_exact_ms(&r, q).unwrap();
+            let tol = exact / 128.0 + 1e-9;
+            assert!(
+                (sampled - exact).abs() <= tol,
+                "q={q}: sampled={sampled} exact={exact} tol={tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_to_zero_fraction_is_zero() {
+        let samples = [(5.0, 0u32), (6.0, 0), (7.0, 0)];
+        let r = run_with(&samples, 1, 3);
+        // 0% of the matches are delivered before the first emit at 5.0 ms.
+        assert_eq!(time_to_fraction_ms(&r, 0.0), Some(0.0));
+        assert_eq!(time_to_fraction_ms(&r, -0.5), Some(0.0));
+        // Positive fractions still walk the curve.
+        assert_eq!(time_to_fraction_ms(&r, 0.01), Some(5.0));
+        assert_eq!(time_to_fraction_ms(&r, 1.0), Some(7.0));
+        // Even an empty run has delivered 0% of its matches at t=0.
+        let empty = run_with(&[], 1, 0);
+        assert_eq!(time_to_fraction_ms(&empty, 0.0), Some(0.0));
+        assert_eq!(time_to_fraction_ms(&empty, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must not be NaN")]
+    fn time_to_nan_fraction_panics() {
+        let r = run_with(&[(5.0, 0u32)], 1, 1);
+        let _ = time_to_fraction_ms(&r, f64::NAN);
     }
 
     #[test]

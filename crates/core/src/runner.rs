@@ -165,6 +165,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "striped latches require the latched NPJ table")]
+    fn striped_lockfree_conflict_is_rejected_before_dispatch() {
+        let ds = small_static();
+        let mut cfg = RunConfig::with_threads(2).npj_table(iawj_exec::NpjTable::LockFree);
+        cfg.npj.striped_latches = Some(64);
+        let _ = execute(Algorithm::Npj, &ds, &cfg);
+    }
+
+    #[test]
+    fn npj_lockfree_table_through_execute_is_exact() {
+        let ds = small_static();
+        let cfg = RunConfig::with_threads(4)
+            .record_all()
+            .npj_table(iawj_exec::NpjTable::LockFree);
+        let result = execute(Algorithm::Npj, &ds, &cfg);
+        assert_eq!(result.matches, match_count(&ds.r, &ds.s, ds.window));
+    }
+
+    #[test]
     fn all_algorithms_agree_with_reference_on_static_data() {
         let ds = small_static();
         let expect = nested_loop_join(&ds.r, &ds.s, ds.window);

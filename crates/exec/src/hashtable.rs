@@ -1,19 +1,63 @@
-//! The two hash tables of the study.
+//! The hash tables of the study.
 //!
 //! - [`SharedTable`] — NPJ's single shared table. All threads insert during
 //!   the build phase under per-bucket latches; the concurrent-visit
 //!   contention on hot buckets is exactly the NPJ pathology §5.3.2 measures.
+//! - [`LockFreeTable`] — the latch-free alternative after Blanas et al.'s
+//!   no-partitioning build table: entries live in a pre-sized append-only
+//!   arena (slot claimed by one `fetch_add`), chains are linked by CAS on
+//!   atomic bucket heads, and probes are plain acquire loads. The A/B
+//!   against [`SharedTable`] is the latched-vs-lock-free comparison behind
+//!   the paper's Figure 8 discussion.
 //! - [`LocalTable`] — the bucket-chain table of PRJ, reused for SHJ's two
 //!   per-thread tables as the paper does (§4.2.2). Single-owner, latch-free,
 //!   with chained entries in one contiguous arena so growth never
 //!   invalidates earlier entries.
 //!
-//! Both derive bucket indices from the shared [`iawj_common::hash_key`]
+//! All derive bucket indices from the shared [`iawj_common::hash_key`]
 //! so hash quality never differs across algorithms.
 
 use crate::latch::Latch;
 use iawj_common::hash::{bucket_of, next_pow2_at_least};
 use iawj_common::{Key, Ts};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};
+
+/// Which shared table NPJ builds into: the per-bucket latched table (the
+/// paper's default) or the lock-free CAS-chained variant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NpjTable {
+    /// [`SharedTable`]: per-bucket spin latches on build and probe.
+    #[default]
+    Latch,
+    /// [`LockFreeTable`]: latch-free CAS-chained build, plain-load probe.
+    LockFree,
+}
+
+impl NpjTable {
+    /// Both table modes, for sweeps.
+    pub const ALL: [NpjTable; 2] = [NpjTable::Latch, NpjTable::LockFree];
+}
+
+impl std::str::FromStr for NpjTable {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "latch" => Ok(NpjTable::Latch),
+            "lockfree" => Ok(NpjTable::LockFree),
+            other => Err(format!("unknown NPJ table mode '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for NpjTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NpjTable::Latch => "latch",
+            NpjTable::LockFree => "lockfree",
+        })
+    }
+}
 
 /// A thread-local chained hash table over `(key, ts)` entries.
 ///
@@ -116,20 +160,37 @@ impl SharedTable {
     /// Insert from any thread.
     #[inline]
     pub fn insert(&self, key: Key, ts: Ts) {
+        self.insert_counting(key, ts);
+    }
+
+    /// Insert from any thread, reporting how many spin-wait episodes the
+    /// bucket latch cost (0 when uncontended). The NPJ engine surfaces each
+    /// episode as a `latch:wait` journal instant.
+    #[inline]
+    pub fn insert_counting(&self, key: Key, ts: Ts) -> u32 {
         let b = bucket_of(key, self.mask);
-        self.buckets[b].lock().push((key, ts));
+        let (mut guard, waits) = self.buckets[b].lock_counting();
+        guard.push((key, ts));
+        waits
     }
 
     /// Call `f(ts)` for every stored entry with this key.
     #[inline]
-    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+    pub fn probe(&self, key: Key, f: impl FnMut(Ts)) {
+        self.probe_counting(key, f);
+    }
+
+    /// Probe, reporting how many spin-wait episodes the bucket latch cost.
+    #[inline]
+    pub fn probe_counting(&self, key: Key, mut f: impl FnMut(Ts)) -> u32 {
         let b = bucket_of(key, self.mask);
-        let guard = self.buckets[b].lock();
+        let (guard, waits) = self.buckets[b].lock_counting();
         for &(k, ts) in guard.iter() {
             if k == key {
                 f(ts);
             }
         }
+        waits
     }
 
     /// Total entries (takes every latch; diagnostics only).
@@ -195,23 +256,38 @@ impl StripedTable {
     /// Insert from any thread.
     #[inline]
     pub fn insert(&self, key: Key, ts: Ts) {
+        self.insert_counting(key, ts);
+    }
+
+    /// Insert from any thread, reporting how many spin-wait episodes the
+    /// stripe latch cost (0 when uncontended).
+    #[inline]
+    pub fn insert_counting(&self, key: Key, ts: Ts) -> u32 {
         let b = bucket_of(key, self.mask);
-        let _guard = self.stripes[self.stripe_of(b)].lock();
+        let (_guard, waits) = self.stripes[self.stripe_of(b)].lock_counting();
         // SAFETY: stripe latch held (see type-level invariant).
         unsafe { (*self.buckets[b].get()).push((key, ts)) };
+        waits
     }
 
     /// Call `f(ts)` for every stored entry with this key.
     #[inline]
-    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+    pub fn probe(&self, key: Key, f: impl FnMut(Ts)) {
+        self.probe_counting(key, f);
+    }
+
+    /// Probe, reporting how many spin-wait episodes the stripe latch cost.
+    #[inline]
+    pub fn probe_counting(&self, key: Key, mut f: impl FnMut(Ts)) -> u32 {
         let b = bucket_of(key, self.mask);
-        let _guard = self.stripes[self.stripe_of(b)].lock();
+        let (_guard, waits) = self.stripes[self.stripe_of(b)].lock_counting();
         // SAFETY: stripe latch held.
         for &(k, ts) in unsafe { (*self.buckets[b].get()).iter() } {
             if k == key {
                 f(ts);
             }
         }
+        waits
     }
 
     /// Total entries (takes every latch; diagnostics only).
@@ -242,6 +318,154 @@ impl StripedTable {
             })
             .sum();
         fixed + chains
+    }
+}
+
+/// Lock-free shared table for NPJ: CAS-chained bucket heads over a
+/// pre-sized append-only entry arena.
+///
+/// Build path: a thread claims an arena slot with one `fetch_add`, writes
+/// the entry (it has exclusive ownership of that slot forever), then
+/// publishes it by CAS-ing the bucket head from the observed chain head to
+/// the slot index. No latch anywhere; a failed CAS just re-links `next`
+/// and retries, and each failure is reported so the engine can journal it
+/// as a `cas:retry` instant — the lock-free twin of `latch:wait`.
+///
+/// Probe path: one `Acquire` load of the bucket head, then plain reads
+/// while walking the chain. The `Release` CAS that published the head
+/// synchronises with that load, and because every later head update is a
+/// read-modify-write on the same atomic, the release sequence headed by
+/// each entry's publishing CAS is preserved — so *every* entry reachable
+/// from an acquired head (not just the newest) is fully visible. Probing
+/// concurrently with building is sound (a probe just misses entries not
+/// yet published); the NPJ engine nevertheless separates the phases with a
+/// barrier, exactly as it does for the latched table.
+///
+/// The arena does not grow: `with_capacity(expected)` is an upper bound on
+/// inserts and overflowing it panics. NPJ sizes it to `|R|`, which is
+/// exact.
+pub struct LockFreeTable {
+    mask: u64,
+    heads: Vec<AtomicI32>,
+    slots: Box<[UnsafeCell<Entry>]>,
+    claimed: AtomicUsize,
+}
+
+// SAFETY: each arena slot is written by exactly one thread (the one whose
+// `fetch_add` claimed it) before being published via a Release CAS on the
+// bucket head, and is never written again; readers only reach a slot
+// through an Acquire head load that happens-after its publication. Bucket
+// heads are atomics. So no data race is possible on any shared word.
+unsafe impl Sync for LockFreeTable {}
+unsafe impl Send for LockFreeTable {}
+
+impl LockFreeTable {
+    /// Table with room for exactly `expected` entries (2× buckets, min 16).
+    pub fn with_capacity(expected: usize) -> Self {
+        let n = next_pow2_at_least(expected * 2, 16);
+        assert!(
+            expected <= i32::MAX as usize,
+            "LockFreeTable: {expected} entries exceed i32 chain indices"
+        );
+        let slots = (0..expected)
+            .map(|_| {
+                UnsafeCell::new(Entry {
+                    key: 0,
+                    ts: 0,
+                    next: -1,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LockFreeTable {
+            mask: n as u64 - 1,
+            heads: (0..n).map(|_| AtomicI32::new(-1)).collect(),
+            slots,
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Insert from any thread; returns the number of failed bucket-head
+    /// CAS attempts (0 when no other thread raced on this bucket).
+    ///
+    /// Panics if the arena is exhausted — the caller promised at most
+    /// `expected` inserts.
+    #[inline]
+    pub fn insert(&self, key: Key, ts: Ts) -> u32 {
+        // Claim an arena slot. Relaxed suffices: the claim only hands out
+        // exclusive indices; publication ordering comes from the CAS below.
+        let idx = self.claimed.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            idx < self.slots.len(),
+            "LockFreeTable arena exhausted: capacity {}",
+            self.slots.len()
+        );
+        let b = bucket_of(key, self.mask);
+        let head = &self.heads[b];
+        let mut cur = head.load(Ordering::Relaxed);
+        let mut retries = 0u32;
+        loop {
+            // SAFETY: `idx` was claimed exclusively by this thread's
+            // fetch_add and is unpublished, so no other thread can read or
+            // write this slot yet.
+            unsafe {
+                *self.slots[idx].get() = Entry { key, ts, next: cur };
+            }
+            // Release: the slot write above must be visible before the
+            // head points at it.
+            match head.compare_exchange_weak(cur, idx as i32, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return retries,
+                Err(observed) => {
+                    // Another thread published into this bucket (or the
+                    // weak CAS failed spuriously); re-link and retry.
+                    retries = retries.saturating_add(1);
+                    cur = observed;
+                }
+            }
+        }
+    }
+
+    /// Call `f(ts)` for every stored entry with this key.
+    #[inline]
+    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
+        let b = bucket_of(key, self.mask);
+        // Acquire pairs with the publishing Release CAS; the release
+        // sequence through later head RMWs makes the whole chain visible.
+        let mut cur = self.heads[b].load(Ordering::Acquire);
+        while cur >= 0 {
+            // SAFETY: `cur` was reachable from an acquired head, so the
+            // slot was fully written before publication and is immutable
+            // since.
+            let e = unsafe { &*self.slots[cur as usize].get() };
+            if e.key == key {
+                f(e.ts);
+            }
+            cur = e.next;
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.claimed.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.heads.len() * std::mem::size_of::<AtomicI32>()
+            + self.slots.len() * std::mem::size_of::<UnsafeCell<Entry>>()
+    }
+
+    /// Number of matches for a key (tests, sizing).
+    pub fn count(&self, key: Key) -> usize {
+        let mut n = 0;
+        self.probe(key, |_| n += 1);
+        n
     }
 }
 
@@ -381,5 +605,119 @@ mod tests {
             table.insert(i, i);
         }
         assert!(table.bytes() > before);
+    }
+
+    #[test]
+    fn shared_single_thread_counts_zero_waits() {
+        let table = SharedTable::with_capacity(64);
+        for i in 0..100 {
+            assert_eq!(table.insert_counting(i % 8, i), 0);
+        }
+        assert_eq!(table.probe_counting(3, |_| {}), 0);
+    }
+
+    #[test]
+    fn striped_single_thread_counts_zero_waits() {
+        let table = StripedTable::with_capacity(64, 4);
+        for i in 0..100 {
+            assert_eq!(table.insert_counting(i % 8, i), 0);
+        }
+        assert_eq!(table.probe_counting(3, |_| {}), 0);
+    }
+
+    #[test]
+    fn lockfree_concurrent_build_then_probe() {
+        let table = LockFreeTable::with_capacity(4000);
+        run_workers(4, |tid| {
+            for i in 0..1000u32 {
+                table.insert(i % 256, tid as u32 * 10_000 + i);
+            }
+        });
+        assert_eq!(table.len(), 4000);
+        for k in [0u32, 100, 255] {
+            let expect = (0..1000u32).filter(|i| i % 256 == k).count() * 4;
+            assert_eq!(table.count(k), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn lockfree_contended_single_bucket_loses_nothing() {
+        // All threads hammer one key: every insert must survive the CAS
+        // races and stay reachable from the single bucket chain.
+        let table = LockFreeTable::with_capacity(4000);
+        run_workers(8, |_| {
+            for i in 0..500 {
+                table.insert(42, i);
+            }
+        });
+        assert_eq!(table.count(42), 4000);
+    }
+
+    #[test]
+    fn lockfree_preserves_payloads_exactly() {
+        // Distinct timestamps per thread; the union over the chain must be
+        // the exact multiset inserted.
+        let table = LockFreeTable::with_capacity(800);
+        run_workers(4, |tid| {
+            for i in 0..200u32 {
+                table.insert(7, tid as u32 * 1000 + i);
+            }
+        });
+        let mut seen = Vec::new();
+        table.probe(7, |ts| seen.push(ts));
+        seen.sort_unstable();
+        let mut want: Vec<u32> = (0..4u32)
+            .flat_map(|t| (0..200).map(move |i| t * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn lockfree_single_thread_counts_zero_retries() {
+        let table = LockFreeTable::with_capacity(100);
+        for i in 0..100 {
+            assert_eq!(table.insert(i % 8, i), 0, "insert {i}");
+        }
+        assert_eq!(table.count(3), 13);
+    }
+
+    #[test]
+    fn lockfree_probe_missing_key() {
+        let table = LockFreeTable::with_capacity(16);
+        table.insert(1, 1);
+        assert_eq!(table.count(2), 0);
+        assert!(!table.is_empty());
+        assert!(table.bytes() > 0);
+    }
+
+    #[test]
+    fn lockfree_empty_table() {
+        let table = LockFreeTable::with_capacity(0);
+        assert!(table.is_empty());
+        assert_eq!(table.count(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn lockfree_overflow_panics() {
+        let table = LockFreeTable::with_capacity(2);
+        table.insert(1, 1);
+        table.insert(2, 2);
+        table.insert(3, 3);
+    }
+
+    #[test]
+    fn npj_table_parse_and_display() {
+        assert_eq!("latch".parse::<NpjTable>().unwrap(), NpjTable::Latch);
+        assert_eq!("lockfree".parse::<NpjTable>().unwrap(), NpjTable::LockFree);
+        assert_eq!("LOCKFREE".parse::<NpjTable>().unwrap(), NpjTable::LockFree);
+        assert!("mutex".parse::<NpjTable>().is_err());
+        assert_eq!(NpjTable::Latch.to_string(), "latch");
+        assert_eq!(NpjTable::LockFree.to_string(), "lockfree");
+        assert_eq!(NpjTable::default(), NpjTable::Latch);
+        for mode in NpjTable::ALL {
+            assert_eq!(mode.to_string().parse::<NpjTable>().unwrap(), mode);
+        }
     }
 }

@@ -39,21 +39,36 @@ impl<T> Latch<T> {
     /// Acquire the latch, spinning until it is free.
     #[inline]
     pub fn lock(&self) -> LatchGuard<'_, T> {
+        self.lock_counting().0
+    }
+
+    /// Acquire the latch and report how many spin-wait episodes it took:
+    /// 0 for an uncontended acquire, otherwise one per round in which the
+    /// latch was observed held (or the acquiring CAS lost a race) before
+    /// this thread finally won it. The NPJ build/probe paths surface each
+    /// episode as a `latch:wait` journal instant, which is what makes the
+    /// §5.3.2 bucket-contention pathology directly observable in traces.
+    #[inline]
+    pub fn lock_counting(&self) -> (LatchGuard<'_, T>, u32) {
         // Fast path: uncontended acquire.
-        if self
+        let waits = if self
             .locked
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
+            .is_ok()
         {
-            self.lock_contended();
-        }
-        LatchGuard { latch: self }
+            0
+        } else {
+            self.lock_contended()
+        };
+        (LatchGuard { latch: self }, waits)
     }
 
     #[cold]
-    fn lock_contended(&self) {
+    fn lock_contended(&self) -> u32 {
+        let mut waits = 0u32;
         let mut spins = 0u32;
         loop {
+            waits = waits.saturating_add(1);
             // Test before test-and-set: spin on a read-only load so the
             // cache line stays shared until the latch actually frees.
             while self.locked.load(Ordering::Relaxed) {
@@ -71,7 +86,7 @@ impl<T> Latch<T> {
                 .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
-                return;
+                return waits;
             }
         }
     }
@@ -137,6 +152,36 @@ mod tests {
         let mut latch = Latch::new(vec![1, 2]);
         latch.get_mut().push(3);
         assert_eq!(latch.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uncontended_lock_counts_zero_waits() {
+        let latch = Latch::new(0u32);
+        let (guard, waits) = latch.lock_counting();
+        assert_eq!(waits, 0);
+        drop(guard);
+        assert_eq!(latch.lock_counting().1, 0);
+    }
+
+    #[test]
+    fn contended_lock_counts_at_least_one_wait() {
+        let latch = Latch::new(());
+        let started = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let guard = latch.lock();
+            let waiter = s.spawn(|| {
+                started.store(true, Ordering::Release);
+                latch.lock_counting().1
+            });
+            // Hold the latch until the waiter has certainly reached its
+            // acquire attempt, so it must observe the latch held.
+            while !started.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(guard);
+            assert!(waiter.join().unwrap() >= 1);
+        });
     }
 
     #[test]

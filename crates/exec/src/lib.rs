@@ -19,8 +19,9 @@
 //! - [`merge`] — k-way (MWay) and successive pairwise (MPass) merging.
 //! - [`mergejoin`] — the duplicate-aware sorted-merge join kernel, plus the
 //!   run-provenance variant PMJ's merge phase needs.
-//! - [`hashtable`] — the shared bucket-chain table of NPJ and the
-//!   thread-local chained table used by PRJ and SHJ.
+//! - [`hashtable`] — NPJ's shared tables (per-bucket latched, striped, and
+//!   lock-free CAS-chained) and the thread-local chained table used by PRJ
+//!   and SHJ.
 //! - [`swwc`] — software write-combining scatter buffers and the cachesim
 //!   A/B harness validating their miss reduction (Fig. 18 / Table 5).
 
@@ -35,7 +36,7 @@ pub mod sort;
 pub mod swwc;
 pub mod timer;
 
-pub use hashtable::{LocalTable, SharedTable, StripedTable};
+pub use hashtable::{LocalTable, LockFreeTable, NpjTable, SharedTable, StripedTable};
 pub use latch::Latch;
 pub use morsel::{for_each_morsel, MorselQueue, MorselStats, Scheduler, DEFAULT_MORSEL};
 pub use pool::run_workers;

@@ -1,0 +1,96 @@
+//! Property tests of the lock-free NPJ table: across arbitrary inputs, key
+//! spaces (including single-key pile-ups that stress one CAS chain), and
+//! worker counts, [`LockFreeTable`] must hold exactly the multiset a
+//! single-owner [`LocalTable`] holds — same keys, same payload multisets,
+//! nothing lost or duplicated by racing bucket-head CASes. Sizes are kept
+//! small enough for the nightly Miri job to walk the unsafe arena and CAS
+//! paths in reasonable time.
+
+use iawj_exec::pool::chunk_range;
+use iawj_exec::{run_workers, LocalTable, LockFreeTable};
+use proptest::prelude::*;
+
+fn pairs(n: usize, seed: u64, key_space: u32) -> Vec<(u32, u32)> {
+    let mut rng = iawj_common::Rng::new(seed);
+    (0..n)
+        .map(|i| (rng.next_u32() % key_space.max(1), i as u32))
+        .collect()
+}
+
+/// All `(key, ts)` pairs reachable by probing every key, sorted.
+fn drain_lockfree(table: &LockFreeTable, key_space: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for k in 0..key_space {
+        table.probe(k, |ts| out.push((k, ts)));
+    }
+    out.sort_unstable();
+    out
+}
+
+fn drain_local(table: &LocalTable, key_space: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for k in 0..key_space {
+        table.probe(k, |ts| out.push((k, ts)));
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_build_matches_single_owner_table(
+        n in 0usize..800,
+        seed in 0u64..1000,
+        key_bits in 0u32..7,
+        threads in 1usize..5) {
+        let key_space = 1u32 << key_bits;
+        let input = pairs(n, seed, key_space);
+
+        let mut local = LocalTable::with_capacity(n);
+        for &(k, ts) in &input {
+            local.insert(k, ts);
+        }
+
+        let table = LockFreeTable::with_capacity(n);
+        run_workers(threads, |tid| {
+            for &(k, ts) in &input[chunk_range(n, threads, tid)] {
+                table.insert(k, ts);
+            }
+        });
+
+        prop_assert_eq!(table.len(), n);
+        prop_assert_eq!(drain_lockfree(&table, key_space), drain_local(&local, key_space));
+    }
+
+    #[test]
+    fn single_key_pile_up_loses_nothing(
+        n in 0usize..600,
+        key in 0u32..8,
+        threads in 1usize..5) {
+        // Every insert CASes the same bucket head: the maximal-retry case.
+        let table = LockFreeTable::with_capacity(n);
+        run_workers(threads, |tid| {
+            let range = chunk_range(n, threads, tid);
+            for i in range {
+                table.insert(key, i as u32);
+            }
+        });
+        let mut seen = Vec::new();
+        table.probe(key, |ts| seen.push(ts));
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_inserts_never_retry(
+        n in 0usize..400,
+        seed in 0u64..1000) {
+        let table = LockFreeTable::with_capacity(n);
+        for (k, ts) in pairs(n, seed, 64) {
+            prop_assert_eq!(table.insert(k, ts), 0);
+        }
+        prop_assert_eq!(table.len(), n);
+    }
+}

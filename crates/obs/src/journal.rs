@@ -11,6 +11,16 @@
 
 use std::time::Instant;
 
+/// Journal mark recorded once per contended latch acquisition: the build
+/// or probe path found a shared-table bucket latch held and had to
+/// spin-wait before acquiring it (the §5.3.2 NPJ contention signal).
+pub const MARK_LATCH_WAIT: &str = "latch:wait";
+
+/// Journal mark recorded once per failed bucket-head CAS in the lock-free
+/// shared table: another thread published an entry into the same bucket
+/// between the head load and the compare-exchange.
+pub const MARK_CAS_RETRY: &str = "cas:retry";
+
 /// One closed interval of work attributed to a named phase or activity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {

@@ -32,5 +32,5 @@ pub mod report;
 
 pub use chrome::chrome_trace;
 pub use hist::LogHistogram;
-pub use journal::{Mark, Span, SpanJournal};
+pub use journal::{Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_LATCH_WAIT};
 pub use report::{breakdown_table, PhaseRow};

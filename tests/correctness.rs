@@ -4,7 +4,7 @@
 //! skewed and uniform, symmetric and asymmetric.
 
 use iawj_study::core::reference::{match_count, nested_loop_join};
-use iawj_study::core::{execute, Algorithm, RunConfig, Scheduler};
+use iawj_study::core::{execute, Algorithm, NpjTable, RunConfig, Scheduler};
 use iawj_study::datagen::{Dataset, MicroSpec};
 
 fn canonical(result: &iawj_study::core::RunResult) -> Vec<(u32, u32, u32)> {
@@ -124,6 +124,45 @@ fn differential_all_engines_across_skew_threads_schedulers() {
                             canonical(&result),
                             expect,
                             "{algo} diverged (seed={seed} θ={theta} \
+                             threads={threads} scheduler={sched})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The latched-vs-lock-free differential harness guarding the NPJ table
+/// variants: both table modes against the nested-loop oracle over seed ×
+/// Zipf key skew × thread count × scheduler, asserting the exact sorted
+/// match set. θ=0.99 concentrates the build and probe on a handful of hot
+/// buckets, which is what actually forces contended latch acquisitions in
+/// latch mode and bucket-head CAS races in lock-free mode.
+#[test]
+fn differential_npj_tables_across_skew_threads_schedulers() {
+    for seed in [51u64, 52] {
+        for theta in [0.0f64, 0.4, 0.99] {
+            let ds = MicroSpec::static_counts(700, 700)
+                .dupe(6)
+                .skew_key(theta)
+                .seed(seed)
+                .generate();
+            let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+            for threads in [1usize, 2, 4, 8] {
+                for sched in Scheduler::ALL {
+                    for table in NpjTable::ALL {
+                        let cfg = RunConfig::with_threads(threads)
+                            .record_all()
+                            .speedup(500.0)
+                            .scheduler(sched)
+                            .morsel_size(64)
+                            .npj_table(table);
+                        let result = execute(Algorithm::Npj, &ds, &cfg);
+                        assert_eq!(
+                            canonical(&result),
+                            expect,
+                            "NPJ/{table} diverged (seed={seed} θ={theta} \
                              threads={threads} scheduler={sched})"
                         );
                     }

@@ -3,8 +3,9 @@
 //! at larger-than-CI scales: `cargo test --release --test stress -- --ignored`
 
 use iawj_study::core::reference::match_count;
-use iawj_study::core::{execute, Algorithm, RunConfig, Scheduler};
+use iawj_study::core::{execute, Algorithm, NpjTable, RunConfig, Scheduler};
 use iawj_study::datagen::{rovio, MicroSpec};
+use iawj_study::obs::{MARK_CAS_RETRY, MARK_LATCH_WAIT};
 
 /// A θ=0.99 Zipf window: the Fig. 10 workload shape that collapses static
 /// range partitioning. Hot keys concentrate quadratic join work in a few
@@ -59,6 +60,69 @@ fn prj_steal_mode_records_steal_events_and_matches_static() {
         fixed.count_marks(MARK_STEAL),
         0,
         "static mode must never steal"
+    );
+}
+
+/// The Fig-8-style contention A/B: under θ=0.99 at 8 threads the latched
+/// NPJ table must exhibit observable latch contention (its bucket latches
+/// are held across whole hot-chain scans on both build and probe, so any
+/// preemption of a holder strands every other thread hitting that bucket),
+/// while the lock-free table — whose only conflict window is the two
+/// instructions between a bucket-head load and its CAS — must journal
+/// strictly fewer contention events. Both modes must agree on the match
+/// count, and neither may emit the other's mark.
+#[test]
+fn npj_lockfree_table_journals_less_contention_than_latched() {
+    let ds = MicroSpec::static_counts(20_000, 20_000)
+        .dupe(4)
+        .skew_key(0.99)
+        .seed(44)
+        .generate();
+    let run = |table: NpjTable| {
+        let cfg = RunConfig::with_threads(8)
+            .speedup(500.0)
+            .npj_table(table)
+            .with_journal();
+        execute(Algorithm::Npj, &ds, &cfg)
+    };
+    // Whether a latch wait actually occurs in one run depends on the OS
+    // interleaving (on a single hardware thread it needs a preemption to
+    // land inside a latch-held chain scan), so accumulate over bounded
+    // attempts; the hot buckets of a θ=0.99 window make each attempt far
+    // more likely than not to contend. The mode-exclusivity invariants are
+    // deterministic and assert on every attempt.
+    let (mut waits, mut retries) = (0usize, 0usize);
+    for attempt in 0..12 {
+        let latched = run(NpjTable::Latch);
+        let lockfree = run(NpjTable::LockFree);
+        assert_eq!(
+            latched.matches, lockfree.matches,
+            "table modes must agree on the match count (attempt {attempt})"
+        );
+        assert_eq!(
+            latched.count_marks(MARK_CAS_RETRY),
+            0,
+            "latch mode never CASes"
+        );
+        assert_eq!(
+            lockfree.count_marks(MARK_LATCH_WAIT),
+            0,
+            "lock-free mode has no latches to wait on"
+        );
+        waits += latched.count_marks(MARK_LATCH_WAIT);
+        retries += lockfree.count_marks(MARK_CAS_RETRY);
+        if waits >= 1 && retries < waits {
+            break;
+        }
+    }
+    assert!(
+        waits >= 1,
+        "θ=0.99 at 8 threads must contend the latched table at least once"
+    );
+    assert!(
+        retries < waits,
+        "lock-free contention ({retries} cas:retry) must stay below \
+         latched contention ({waits} latch:wait)"
     );
 }
 
