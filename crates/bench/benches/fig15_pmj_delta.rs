@@ -6,13 +6,19 @@ use iawj_bench::{banner, fmt, print_table, BenchEnv};
 use iawj_common::{Phase, PHASES};
 use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
-use iawj_exec::NOMINAL_GHZ;
+use iawj_exec::cpu_clock;
 
 const DELTAS: [f64; 5] = [0.10, 0.20, 0.30, 0.40, 0.50];
 
 fn main() {
     let env = BenchEnv::from_env();
     banner("Figure 15 — PMJ sorting step size (static Micro)", &env);
+    let clock = cpu_clock();
+    println!(
+        "(cycles at {:.2} GHz, {} clock)",
+        clock.ghz,
+        clock.source.label()
+    );
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
     let ds = MicroSpec::static_counts(n_r, n_r * 10)
         .dupe(4)
@@ -42,11 +48,11 @@ fn main() {
                 Phase::Merge,
                 Phase::Probe,
             ] {
-                row.push(fmt(res.breakdown.cycles(phase, NOMINAL_GHZ) * per));
+                row.push(fmt(res.breakdown.cycles(phase, clock.ghz) * per));
             }
             let total: f64 = PHASES
                 .iter()
-                .map(|&p| res.breakdown.cycles(p, NOMINAL_GHZ) * per)
+                .map(|&p| res.breakdown.cycles(p, clock.ghz) * per)
                 .sum();
             row.push(fmt(total));
             rows.push(row);

@@ -5,13 +5,19 @@
 use iawj_bench::{banner, fmt, print_table, BenchEnv};
 use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
-use iawj_exec::NOMINAL_GHZ;
+use iawj_exec::cpu_clock;
 
 fn main() {
     let env = BenchEnv::from_env();
     banner(
         "Figure 16 — JB group size (static Micro); last row = JM reference",
         &env,
+    );
+    let clock = cpu_clock();
+    println!(
+        "(cycles at {:.2} GHz, {} clock)",
+        clock.ghz,
+        clock.source.label()
     );
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
     let ds = MicroSpec::static_counts(n_r, n_r * 10)
@@ -33,7 +39,7 @@ fn main() {
                 let per = 1.0 / res.total_inputs.max(1) as f64;
                 rows.push(vec![
                     format!("g={g}"),
-                    fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+                    fmt(res.breakdown.busy_ns() as f64 * clock.ghz * per),
                     fmt(res.throughput_tpms()),
                 ]);
             }
@@ -43,7 +49,7 @@ fn main() {
         let per = 1.0 / res.total_inputs.max(1) as f64;
         rows.push(vec![
             "JM".into(),
-            fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+            fmt(res.breakdown.busy_ns() as f64 * clock.ghz * per),
             fmt(res.throughput_tpms()),
         ]);
         print_table(&["config", "cycles/tuple", "tpt (t/ms)"], &rows);

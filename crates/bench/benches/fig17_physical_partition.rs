@@ -5,13 +5,19 @@ use iawj_bench::{banner, fmt, print_table, BenchEnv};
 use iawj_common::Phase;
 use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
-use iawj_exec::NOMINAL_GHZ;
+use iawj_exec::cpu_clock;
 
 fn main() {
     let env = BenchEnv::from_env();
     banner(
         "Figure 17 — physical partitioning of SHJ^JM (static Micro)",
         &env,
+    );
+    let clock = cpu_clock();
+    println!(
+        "(cycles at {:.2} GHz, {} clock)",
+        clock.ghz,
+        clock.source.label()
     );
     let n_r = (128_000.0 * env.scale * 10.0).max(1000.0) as usize;
     let ds = MicroSpec::static_counts(n_r, n_r * 10)
@@ -31,10 +37,10 @@ fn main() {
                 "w/o partition"
             }
             .to_string(),
-            fmt(res.breakdown.cycles(Phase::Partition, NOMINAL_GHZ) * per),
-            fmt(res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ) * per),
-            fmt(res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ) * per),
-            fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+            fmt(res.breakdown.cycles(Phase::Partition, clock.ghz) * per),
+            fmt(res.breakdown.cycles(Phase::BuildSort, clock.ghz) * per),
+            fmt(res.breakdown.cycles(Phase::Probe, clock.ghz) * per),
+            fmt(res.breakdown.busy_ns() as f64 * clock.ghz * per),
         ]);
     }
     print_table(&["config", "partition", "build", "probe", "overall"], &rows);

@@ -6,13 +6,19 @@ use iawj_bench::{banner, fmt, print_table, BenchEnv};
 use iawj_common::Phase;
 use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
-use iawj_exec::{SortBackend, NOMINAL_GHZ};
+use iawj_exec::{cpu_clock, SortBackend};
 
 fn main() {
     let env = BenchEnv::from_env();
     banner(
         "Figure 21 — SIMD on/off for the sort-based algorithms (static Micro)",
         &env,
+    );
+    let clock = cpu_clock();
+    println!(
+        "(cycles at {:.2} GHz, {} clock)",
+        clock.ghz,
+        clock.source.label()
     );
     let n = (512_000.0 * env.scale * 10.0).max(20_000.0) as usize;
     let ds = MicroSpec::static_counts(n, n).dupe(4).seed(42).generate();
@@ -29,10 +35,10 @@ fn main() {
             let per = 1.0 / res.total_inputs.max(1) as f64;
             rows.push(vec![
                 format!("{}({})", algo.name(), backend.label()),
-                fmt(res.breakdown.cycles(Phase::BuildSort, NOMINAL_GHZ) * per),
-                fmt(res.breakdown.cycles(Phase::Merge, NOMINAL_GHZ) * per),
-                fmt(res.breakdown.cycles(Phase::Probe, NOMINAL_GHZ) * per),
-                fmt(res.breakdown.busy_ns() as f64 * NOMINAL_GHZ * per),
+                fmt(res.breakdown.cycles(Phase::BuildSort, clock.ghz) * per),
+                fmt(res.breakdown.cycles(Phase::Merge, clock.ghz) * per),
+                fmt(res.breakdown.cycles(Phase::Probe, clock.ghz) * per),
+                fmt(res.breakdown.busy_ns() as f64 * clock.ghz * per),
             ]);
         }
     }

@@ -9,7 +9,7 @@
 //! instructions between a head load and its CAS — which is the
 //! latched-vs-lock-free argument of the paper's §5.3.2 discussion.
 
-use iawj_bench::{banner, fmt, print_table, run, BenchEnv};
+use iawj_bench::{banner, fmt, print_table, run, BenchEnv, SnapshotWriter};
 use iawj_core::{Algorithm, NpjTable};
 use iawj_obs::{MARK_CAS_RETRY, MARK_LATCH_WAIT};
 
@@ -20,6 +20,7 @@ fn main() {
     let env = BenchEnv::from_env();
     banner("Figure 8 — NPJ latched vs lock-free table contention", &env);
 
+    let mut snap = SnapshotWriter::new("fig8_npj", &env);
     let mut rows = Vec::new();
     for &skew in &SKEWS {
         let ds = env.micro(12800.0, 12800.0).skew_key(skew).generate();
@@ -30,6 +31,7 @@ fn main() {
                 let mut cfg = env.config().npj_table(table).with_journal();
                 cfg.threads = threads;
                 let res = run(Algorithm::Npj, &ds, &cfg);
+                snap.record(&format!("Micro/skew{skew}"), &cfg, &res);
                 let mark = match table {
                     NpjTable::Latch => MARK_LATCH_WAIT,
                     NpjTable::LockFree => MARK_CAS_RETRY,
@@ -50,4 +52,5 @@ fn main() {
     ];
     println!("\nThroughput and journaled contention events per 1k operations");
     print_table(&cols, &rows);
+    snap.write();
 }

@@ -2,9 +2,10 @@
 //! (The instruction, L1I and branch-misprediction rows of the paper are
 //! hardware-only and out of the data-cache simulator's scope.)
 
-use iawj_bench::{banner, fmt, print_table, BenchEnv};
+use iawj_bench::{banner, fmt, print_table, BenchEnv, SnapshotWriter};
 use iawj_core::{trace, Algorithm};
 use iawj_datagen::rovio;
+use iawj_obs::CachesimPerTuple;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -15,9 +16,20 @@ fn main() {
     if prefetch {
         println!("(next-line stream prefetcher: ON)");
     }
+    let mut snap = SnapshotWriter::new("table5", &env);
     let mut rows = Vec::new();
     for algo in Algorithm::STUDIED {
         let p = trace::profile_with(algo, &ds, &cfg, prefetch).per_tuple();
+        snap.record_cachesim(
+            &ds.name,
+            algo.name(),
+            CachesimPerTuple {
+                dtlb: p.dtlb,
+                l1d: p.l1d,
+                l2: p.l2,
+                l3: p.l3,
+            },
+        );
         rows.push(vec![
             algo.name().to_string(),
             fmt(p.dtlb),
@@ -36,4 +48,5 @@ fn main() {
         ],
         &rows,
     );
+    snap.write();
 }

@@ -91,6 +91,123 @@ pub fn run(algo: Algorithm, ds: &Dataset, cfg: &RunConfig) -> RunResult {
 }
 
 // ---------------------------------------------------------------------------
+// Machine-readable snapshots (BENCH_<fig>.json)
+// ---------------------------------------------------------------------------
+
+use iawj_common::PHASES;
+use iawj_exec::cpu_clock;
+use iawj_obs::{BenchSnapshot, CachesimPerTuple, PhaseSnapshot, RunSnapshot, SCHEMA_VERSION};
+
+/// The current commit's abbreviated SHA, or `"unknown"` outside a repo.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Collects every configuration a harness target executed and writes them
+/// as a versioned `BENCH_<fig>.json` when `IAWJ_BENCH_DIR` is set — the
+/// machine-readable perf trajectory consumed by `iawj bench-diff`. With
+/// the variable unset, recording is free and nothing is written.
+pub struct SnapshotWriter {
+    snap: BenchSnapshot,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot for one figure/table tag (`"fig7"`, `"table5"`…).
+    pub fn new(fig: &str, env: &BenchEnv) -> Self {
+        let clock = cpu_clock();
+        let created_unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        SnapshotWriter {
+            snap: BenchSnapshot {
+                schema_version: SCHEMA_VERSION,
+                fig: fig.into(),
+                git_sha: git_sha(),
+                created_unix_s,
+                scale: env.scale,
+                speedup: env.speedup,
+                threads: env.threads as u64,
+                clock_ghz: clock.ghz,
+                clock_source: clock.source.label().into(),
+                runs: Vec::new(),
+            },
+        }
+    }
+
+    /// Record one executed configuration. `workload` may carry a
+    /// parameter suffix (e.g. `"Micro/skew0.99"`) so sweep points stay
+    /// distinct under `bench-diff`'s configuration key.
+    pub fn record(&mut self, workload: &str, cfg: &RunConfig, res: &RunResult) {
+        self.snap.runs.push(RunSnapshot {
+            workload: workload.into(),
+            engine: res.algorithm.name().into(),
+            threads: cfg.threads as u64,
+            scheduler: cfg.sched.scheduler.to_string(),
+            scatter: cfg.prj.scatter.to_string(),
+            npj_table: cfg.npj.table.to_string(),
+            throughput_tpms: res.throughput_tpms(),
+            latency_p99_ms: res.hist.quantile_ms(0.99),
+            latency_max_ms: res.hist.max_ms(),
+            matches: res.matches,
+            counter_source: res.counter_source.label().into(),
+            phases: PHASES
+                .iter()
+                .map(|&p| PhaseSnapshot {
+                    label: p.label().into(),
+                    ns: res.breakdown[p],
+                    counters: res.counters[p],
+                })
+                .collect(),
+            cachesim: None,
+        });
+    }
+
+    /// Record a cache-simulator profile row (Table 5 / Fig. 19): no wall
+    /// clock, only simulated per-tuple counters.
+    pub fn record_cachesim(&mut self, workload: &str, engine: &str, per: CachesimPerTuple) {
+        self.snap.runs.push(RunSnapshot {
+            workload: workload.into(),
+            engine: engine.into(),
+            threads: self.snap.threads,
+            scheduler: "static".into(),
+            scatter: "direct".into(),
+            npj_table: "latch".into(),
+            throughput_tpms: 0.0,
+            latency_p99_ms: None,
+            latency_max_ms: None,
+            matches: 0,
+            counter_source: "cachesim".into(),
+            phases: Vec::new(),
+            cachesim: Some(per),
+        });
+    }
+
+    /// Write `BENCH_<fig>.json` into `IAWJ_BENCH_DIR`, if set. Failures
+    /// are reported but never abort a harness run.
+    pub fn write(&self) {
+        let Ok(dir) = std::env::var("IAWJ_BENCH_DIR") else {
+            return;
+        };
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.snap.fig));
+        match std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, self.snap.to_json()))
+        {
+            Ok(()) => println!("(bench snapshot: {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Table printing
 // ---------------------------------------------------------------------------
 
@@ -245,6 +362,51 @@ mod tests {
         let file = dir.join("figure_99_1.csv");
         let content = std::fs::read_to_string(&file).expect("csv written");
         assert_eq!(content, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_writer_round_trips_through_bench_dir() {
+        let dir = std::env::temp_dir().join("iawj_snapshot_writer_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = BenchEnv {
+            scale: 0.01,
+            speedup: 25.0,
+            threads: 2,
+        };
+        let ds = MicroSpec::static_counts(300, 300)
+            .dupe(3)
+            .seed(7)
+            .generate();
+        let cfg = env.config();
+        let res = run(Algorithm::Npj, &ds, &cfg);
+        let mut w = SnapshotWriter::new("figtest", &env);
+        w.record(&ds.name, &cfg, &res);
+        w.record_cachesim(
+            &ds.name,
+            "PRJ",
+            CachesimPerTuple {
+                dtlb: 0.1,
+                l1d: 1.5,
+                l2: 0.4,
+                l3: 0.2,
+            },
+        );
+        // Without the env var nothing is written.
+        w.write();
+        assert!(!dir.exists());
+        std::env::set_var("IAWJ_BENCH_DIR", &dir);
+        w.write();
+        std::env::remove_var("IAWJ_BENCH_DIR");
+        let text = std::fs::read_to_string(dir.join("BENCH_figtest.json")).expect("written");
+        let parsed = BenchSnapshot::parse(&text).expect("parses");
+        assert_eq!(parsed.fig, "figtest");
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.runs[0].engine, "NPJ");
+        assert!(parsed.runs[0].throughput_tpms > 0.0);
+        assert_eq!(parsed.runs[0].phases.len(), 6);
+        assert_eq!(parsed.runs[1].counter_source, "cachesim");
+        assert!(parsed.runs[1].cachesim.is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

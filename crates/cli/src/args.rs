@@ -61,6 +61,8 @@ const FLAG_NAMES: &[&str] = &[
     "calibrate",
     "scalar-sort",
     "eager-merge",
+    "perf",
+    "warn-only",
     "help",
 ];
 

@@ -20,15 +20,51 @@ use args::{ArgError, Args};
 use iawj_core::adaptive::sniff;
 use iawj_core::decision::{calibrate, recommend, Objective, Thresholds};
 use iawj_core::{execute, trace};
+use iawj_obs::{diff, BenchSnapshot, DiffThresholds};
 use summary::{metrics_jsonl, RunSummary};
 use workload::{build_config, build_dataset, parse_algorithm, RUN_OPTS, WORKLOAD_OPTS};
+
+/// A CLI failure: what to print on stderr, and whether the usage text
+/// should follow it. Argument mistakes want the usage; a bench-diff
+/// regression wants only its report (it already says what to do).
+#[derive(Debug)]
+pub struct CliError {
+    /// Text for stderr.
+    pub message: String,
+    /// Print [`USAGE`] after the message?
+    pub show_usage: bool,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError {
+            message: e.to_string(),
+            show_usage: true,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            message: message.to_string(),
+            show_usage: true,
+        }
+    }
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
 iawj — intra-window join study driver
 
 USAGE:
-  iawj <run|recommend|sweep|trace|generate> [options]
+  iawj <run|recommend|sweep|trace|generate|bench-diff> [options]
 
   Any subcommand also accepts --input-r FILE --input-s FILE to join your
   own key,ts CSV streams instead of a generated workload.
@@ -55,8 +91,12 @@ RUN OPTIONS (run, sweep, trace):
   --scatter MODE     PRJ scatter path: direct|swwc (default direct)
   --npj-table MODE   NPJ shared table: latch|lockfree (default latch)
   --json             machine-readable output
-  --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker)
-  --metrics-out FILE write a JSONL metrics journal (histogram, phases)
+  --perf             sample hardware counters per phase (perf_event; falls
+                     back silently where unavailable)
+  --trace-out FILE   write a Chrome-trace JSON profile (one lane per worker,
+                     IPC/MPKI counter tracks when --perf sampled)
+  --metrics-out FILE write a JSONL metrics journal (histogram, phases;
+                     implies --perf)
 
 RECOMMEND OPTIONS:
   --objective throughput|latency|progressiveness   (default throughput)
@@ -68,16 +108,28 @@ SWEEP OPTIONS:
 
 GENERATE OPTIONS:
   --out-r FILE --out-s FILE   write the workload's streams as CSV
+
+BENCH-DIFF:
+  iawj bench-diff OLD.json NEW.json [--max-tpt-drop F] [--max-p99-rise F]
+                                    [--warn-only]
+  Compare two BENCH_*.json snapshots per configuration. Exits non-zero
+  when any matching run's throughput dropped more than --max-tpt-drop
+  (default 0.20) or its p99 latency rose more than --max-p99-rise
+  (default 0.50), unless --warn-only.
 ";
 
 /// Entry point shared by the binary and the tests: returns the text to
-/// print, or an error message.
-pub fn run_cli(argv: &[String]) -> Result<String, String> {
+/// print, or what to report on stderr.
+pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = argv.split_first().ok_or("no subcommand given")?;
     if cmd == "help" || cmd == "--help" {
         return Ok(USAGE.to_string());
     }
-    let args = Args::parse(rest).map_err(|e| e.to_string())?;
+    if cmd == "bench-diff" {
+        // Positional paths, which Args::parse would reject.
+        return cmd_bench_diff(rest);
+    }
+    let args = Args::parse(rest).map_err(CliError::from)?;
     if args.flag("help") {
         return Ok(USAGE.to_string());
     }
@@ -89,7 +141,52 @@ pub fn run_cli(argv: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&args),
         other => Err(ArgError::Unexpected(other.to_string())),
     };
-    out.map_err(|e| e.to_string())
+    out.map_err(CliError::from)
+}
+
+/// `iawj bench-diff <old.json> <new.json>` — compare two bench snapshots
+/// and fail (non-zero exit) when a matching configuration regressed past
+/// the thresholds, unless `--warn-only`.
+fn cmd_bench_diff(rest: &[String]) -> Result<String, CliError> {
+    if rest.first().map(|t| t.as_str()) == Some("--help") {
+        return Ok(USAGE.to_string());
+    }
+    let positional: Vec<&String> = rest.iter().take_while(|t| !t.starts_with("--")).collect();
+    if positional.len() != 2 {
+        return Err("bench-diff takes exactly two snapshot paths: <old.json> <new.json>".into());
+    }
+    let args = Args::parse(&rest[2..]).map_err(CliError::from)?;
+    args.check_known(&["max-tpt-drop", "max-p99-rise", "warn-only", "help"])?;
+    if args.flag("help") {
+        return Ok(USAGE.to_string());
+    }
+    let defaults = DiffThresholds::default();
+    let thresholds = DiffThresholds {
+        max_tpt_drop: args.get_or("max-tpt-drop", defaults.max_tpt_drop)?,
+        max_p99_rise: args.get_or("max-p99-rise", defaults.max_p99_rise)?,
+    };
+    let load = |path: &str| -> Result<BenchSnapshot, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError {
+            message: format!("{path}: {e}"),
+            show_usage: false,
+        })?;
+        BenchSnapshot::parse(&text).map_err(|e| CliError {
+            message: format!("{path}: {e}"),
+            show_usage: false,
+        })
+    };
+    let old = load(positional[0])?;
+    let new = load(positional[1])?;
+    let report = diff(&old, &new, thresholds);
+    let rendered = report.render();
+    if report.regressed() && !args.flag("warn-only") {
+        Err(CliError {
+            message: rendered,
+            show_usage: false,
+        })
+    } else {
+        Ok(rendered)
+    }
 }
 
 fn allowed(extra: &[&str]) -> Vec<&'static str> {
@@ -298,10 +395,10 @@ fn cmd_generate(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
-/// Convenience for tests: run with &str arguments.
+/// Convenience for tests: run with &str arguments, errors as plain text.
 pub fn run_cli_str(argv: &[&str]) -> Result<String, String> {
     let owned: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
-    run_cli(&owned)
+    run_cli(&owned).map_err(|e| e.message)
 }
 
 #[cfg(test)]
@@ -573,6 +670,104 @@ mod tests {
     fn unknown_option_is_reported() {
         let err = run_cli_str(&["run", "--algo", "NPJ", "--bogus", "1"]).unwrap_err();
         assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn run_with_perf_flag_never_panics() {
+        // On hosts without perf_event access this exercises the fallback.
+        let out = run_cli_str(&[
+            "run",
+            "--algo",
+            "NPJ",
+            "--static",
+            "--count-r",
+            "300",
+            "--count-s",
+            "300",
+            "--threads",
+            "2",
+            "--perf",
+        ])
+        .unwrap();
+        assert!(out.contains("throughput:"), "{out}");
+    }
+
+    fn snapshot_fixture(tpt: f64, p99: f64) -> iawj_obs::BenchSnapshot {
+        iawj_obs::BenchSnapshot {
+            schema_version: iawj_obs::SCHEMA_VERSION,
+            fig: "fig7".into(),
+            git_sha: "deadbeef".into(),
+            created_unix_s: 1,
+            scale: 0.01,
+            speedup: 25.0,
+            threads: 4,
+            clock_ghz: 2.6,
+            clock_source: "assumed".into(),
+            runs: vec![iawj_obs::RunSnapshot {
+                workload: "Micro".into(),
+                engine: "NPJ".into(),
+                threads: 4,
+                scheduler: "static".into(),
+                scatter: "direct".into(),
+                npj_table: "latch".into(),
+                throughput_tpms: tpt,
+                latency_p99_ms: Some(p99),
+                latency_max_ms: Some(p99 * 2.0),
+                matches: 1000,
+                counter_source: "none".into(),
+                phases: vec![],
+                cachesim: None,
+            }],
+        }
+    }
+
+    fn write_snapshot(name: &str, snap: &iawj_obs::BenchSnapshot) -> String {
+        let dir = std::env::temp_dir().join("iawj_cli_benchdiff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, snap.to_json()).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn bench_diff_passes_on_identical_snapshots() {
+        let old = write_snapshot("same_a.json", &snapshot_fixture(100.0, 5.0));
+        let new = write_snapshot("same_b.json", &snapshot_fixture(100.0, 5.0));
+        let out = run_cli_str(&["bench-diff", &old, &new]).unwrap();
+        assert!(out.contains("OK"), "{out}");
+    }
+
+    #[test]
+    fn bench_diff_fails_on_throughput_regression() {
+        let old = write_snapshot("reg_old.json", &snapshot_fixture(100.0, 5.0));
+        // 25% throughput drop: past the default 20% threshold.
+        let new = write_snapshot("reg_new.json", &snapshot_fixture(75.0, 5.0));
+        let argv: Vec<String> = ["bench-diff", &old, &new]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_cli(&argv).unwrap_err();
+        assert!(!err.show_usage, "a regression report is not a usage error");
+        assert!(err.message.contains("FAIL"), "{}", err.message);
+        // The same pair passes with --warn-only or a wider threshold.
+        let out = run_cli_str(&["bench-diff", &old, &new, "--warn-only"]).unwrap();
+        assert!(out.contains("FAIL"), "{out}");
+        run_cli_str(&["bench-diff", &old, &new, "--max-tpt-drop", "0.3"]).unwrap();
+    }
+
+    #[test]
+    fn bench_diff_wants_two_paths_and_real_files() {
+        let argv = vec!["bench-diff".to_string()];
+        let err = run_cli(&argv).unwrap_err();
+        assert!(err.show_usage);
+        assert!(
+            err.message.contains("two snapshot paths"),
+            "{}",
+            err.message
+        );
+        let err =
+            run_cli_str(&["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"]).unwrap_err();
+        assert!(err.contains("nonexistent"), "{err}");
     }
 
     #[test]

@@ -10,9 +10,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", iawj_cli::USAGE);
+            if e.show_usage {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprintln!("{}", iawj_cli::USAGE);
+            } else {
+                eprintln!("{e}");
+            }
             ExitCode::FAILURE
         }
     }

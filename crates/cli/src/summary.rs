@@ -2,13 +2,16 @@
 //! pipelines and scripts. JSON is written by hand through
 //! [`iawj_obs::json`] so the workspace stays dependency-free.
 
-use iawj_common::PHASES;
+use iawj_common::{PhaseCounters, PHASES};
 use iawj_core::metrics::{
     latency_max_ms, latency_quantile_exact_ms, latency_quantile_ms, progressiveness, thin_curve,
 };
 use iawj_core::RunResult;
-use iawj_exec::{ns_to_cycles, NOMINAL_GHZ};
+use iawj_exec::{cpu_clock, ns_to_cycles};
 use iawj_obs::json::{array, quote, write_f64};
+use iawj_obs::perf::{
+    COUNTER_NAMES, IDX_BRANCH_MISSES, IDX_DTLB_MISSES, IDX_L1D_MISSES, IDX_LLC_MISSES,
+};
 use iawj_obs::{breakdown_table, PhaseRow};
 
 /// The metrics of one run, flattened for JSON output.
@@ -45,8 +48,17 @@ pub struct RunSummary {
     pub phase_fractions: [f64; 6],
     /// Per-phase nanoseconds summed over workers, same order.
     pub phase_ns: [u64; 6],
-    /// Per-phase cycles at the paper's 2.6 GHz nominal clock, same order.
+    /// Per-phase cycles at the calibrated clock ([`cpu_clock`]), same
+    /// order.
     pub phase_cycles: [f64; 6],
+    /// The ns → cycles conversion frequency, in GHz.
+    pub clock_ghz: f64,
+    /// Where the clock came from: `"env"`, `"measured"` or `"assumed"`.
+    pub clock_source: &'static str,
+    /// Per-phase hardware-counter deltas summed over workers.
+    pub counters: PhaseCounters,
+    /// `"perf"` when the counters are real, `"none"` otherwise.
+    pub counter_source: &'static str,
     /// Per-phase `(min, max)` nanoseconds across workers (skew columns of
     /// the breakdown table).
     pub phase_minmax_ns: [(u64, u64); 6],
@@ -74,6 +86,7 @@ impl RunSummary {
                 );
             }
         }
+        let clock = cpu_clock();
         RunSummary {
             algorithm: r.algorithm.name().to_string(),
             threads: r.threads,
@@ -90,6 +103,10 @@ impl RunSummary {
             phase_fractions,
             phase_ns,
             phase_cycles,
+            clock_ghz: clock.ghz,
+            clock_source: clock.source.label(),
+            counters: r.counters,
+            counter_source: r.counter_source.label(),
             phase_minmax_ns,
             progress: thin_curve(&progressiveness(r), 32),
         }
@@ -139,6 +156,25 @@ impl RunSummary {
             &mut out,
             "phase_cycles",
             array(self.phase_cycles.iter().map(|&c| num(c))),
+        );
+        field(&mut out, "clock_ghz", num(self.clock_ghz));
+        field(&mut out, "clock_source", quote(self.clock_source));
+        field(&mut out, "counter_source", quote(self.counter_source));
+        field(
+            &mut out,
+            "phase_counters",
+            array(PHASES.iter().map(|p| {
+                let c = self.counters[*p];
+                let mut obj = String::from("{");
+                for (i, name) in COUNTER_NAMES.iter().enumerate() {
+                    if i > 0 {
+                        obj.push_str(", ");
+                    }
+                    obj.push_str(&format!("{}: {}", quote(name), c.vals[i]));
+                }
+                obj.push('}');
+                obj
+            })),
         );
         field(
             &mut out,
@@ -209,8 +245,63 @@ impl RunSummary {
         if let Some(&(t, _)) = self.progress.iter().find(|&&(_, frac)| frac >= 0.5) {
             let _ = writeln!(out, "50% matches:   by {t:.1} ms");
         }
-        let _ = writeln!(out, "breakdown:");
-        out.push_str(&breakdown_table(&self.phase_rows(), NOMINAL_GHZ));
+        let _ = writeln!(
+            out,
+            "breakdown:     (cycles at {:.2} GHz, {} clock)",
+            self.clock_ghz, self.clock_source
+        );
+        out.push_str(&breakdown_table(&self.phase_rows(), self.clock_ghz));
+        out.push_str(&self.counters_text());
+        out
+    }
+
+    /// The hardware-counter table, or a one-line note when the run had no
+    /// perf access (cachesim columns via `iawj trace` remain available).
+    fn counters_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.counter_source != "perf" {
+            let _ = writeln!(
+                out,
+                "hw counters:   unavailable (perf_event denied or unsupported; \
+                 `iawj trace` reports simulated cache misses)"
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "hw counters:   per phase (misses per kilo-instruction in brackets)"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} {:>14} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            "phase", "cycles", "instr", "ipc", "l1d", "llc", "dtlb", "branch"
+        );
+        for p in PHASES {
+            let c = self.counters[p];
+            if c.is_zero() {
+                continue;
+            }
+            let mpki = |idx: usize| {
+                c.per_kilo_instruction(idx)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>14} {:>14} {:>6} {:>12} {:>12} {:>12} {:>12}",
+                p.label(),
+                c.cycles(),
+                c.instructions(),
+                c.ipc()
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                mpki(IDX_L1D_MISSES),
+                mpki(IDX_LLC_MISSES),
+                mpki(IDX_DTLB_MISSES),
+                mpki(IDX_BRANCH_MISSES),
+            );
+        }
         out
     }
 }
@@ -249,9 +340,25 @@ pub fn metrics_jsonl(summary: &RunSummary, r: &RunResult) -> String {
         opt(r.hist.quantile_ms(0.99)),
         opt(r.hist.max_ms()),
     ));
-    for row in summary.phase_rows() {
+    out.push_str(&format!(
+        "{{\"type\":\"clock\",\"ghz\":{},\"source\":{},\"counter_source\":{}}}\n",
+        num(summary.clock_ghz),
+        quote(summary.clock_source),
+        quote(summary.counter_source),
+    ));
+    for (row, phase) in summary.phase_rows().into_iter().zip(PHASES) {
+        let c = summary.counters[phase];
+        let mut counters = String::from("{");
+        for (i, (name, v)) in COUNTER_NAMES.iter().zip(c.vals.iter()).enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&format!("{}:{}", quote(name), v));
+        }
+        counters.push('}');
         out.push_str(&format!(
-            "{{\"type\":\"phase\",\"label\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}\n",
+            "{{\"type\":\"phase\",\"label\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"counters\":{counters}}}\n",
             quote(row.label),
             row.total_ns,
             row.min_ns,
@@ -304,8 +411,10 @@ mod tests {
         // The phase arrays agree with each other.
         let ns_total: u64 = s.phase_ns.iter().sum();
         assert!(ns_total > 0);
+        assert!((s.clock_ghz - cpu_clock().ghz).abs() < 1e-9);
+        assert!(["env", "measured", "assumed"].contains(&s.clock_source));
         for i in 0..6 {
-            assert!((s.phase_cycles[i] - s.phase_ns[i] as f64 * NOMINAL_GHZ).abs() < 1e-6);
+            assert!((s.phase_cycles[i] - s.phase_ns[i] as f64 * s.clock_ghz).abs() < 1e-6);
             let (min, max) = s.phase_minmax_ns[i];
             assert!(min <= max);
             assert!(max <= s.phase_ns[i]);
@@ -354,8 +463,9 @@ mod tests {
         let summary = RunSummary::from_result(&result);
         let jsonl = metrics_jsonl(&summary, &result);
         let lines: Vec<&str> = jsonl.lines().collect();
-        // summary + histogram + 6 phases + one journal line per worker.
-        assert_eq!(lines.len(), 2 + 6 + 2, "{jsonl}");
+        // summary + histogram + clock + 6 phases + one journal line per
+        // worker.
+        assert_eq!(lines.len(), 3 + 6 + 2, "{jsonl}");
         for line in &lines {
             let v = Json::parse(line).expect("every JSONL line parses");
             assert!(v.get("type").and_then(Json::as_str).is_some());
@@ -379,5 +489,55 @@ mod tests {
         assert!(text.contains("breakdown:"));
         assert!(text.contains("build/sort"));
         assert!(text.contains("total"));
+        // The cycle columns are labeled with their clock provenance.
+        assert!(
+            text.contains("GHz, env clock")
+                || text.contains("GHz, measured clock")
+                || text.contains("GHz, assumed clock"),
+            "{text}"
+        );
+        // Without perf the counters section degrades to a note.
+        assert!(
+            text.contains("hw counters:   per phase") || text.contains("unavailable"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_carries_clock_and_counter_provenance() {
+        let s = sample_summary();
+        let parsed = Json::parse(&s.to_json()).unwrap();
+        assert!(parsed.get("clock_ghz").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(parsed.get("clock_source").and_then(Json::as_str).is_some());
+        let source = parsed.get("counter_source").and_then(Json::as_str).unwrap();
+        assert!(source == "perf" || source == "none");
+        let counters = parsed.get("phase_counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters.len(), 6);
+        for c in counters {
+            assert!(c.get("cycles").and_then(Json::as_u64).is_some());
+            assert!(c.get("instructions").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn perf_run_summary_never_panics_and_labels_source() {
+        // With --perf semantics (cfg.perf = true) the summary must carry
+        // either real counters or an explicit "none", on every host.
+        let ds = MicroSpec::static_counts(300, 300)
+            .dupe(3)
+            .seed(3)
+            .generate();
+        let cfg = RunConfig::with_threads(2).with_journal().with_perf();
+        let result = execute(Algorithm::Npj, &ds, &cfg);
+        let s = RunSummary::from_result(&result);
+        if s.counter_source == "perf" {
+            assert!(!s.counters.is_zero());
+            assert!(s.counters.total().instructions() > 0);
+        } else {
+            assert_eq!(s.counter_source, "none");
+            assert!(s.counters.is_zero());
+        }
+        let _ = s.to_text();
+        let _ = s.to_json();
     }
 }

@@ -26,6 +26,7 @@ pub const RUN_OPTS: &[&str] = &[
     "scatter",
     "npj-table",
     "json",
+    "perf",
     "trace-out",
     "metrics-out",
 ];
@@ -183,8 +184,11 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
             expected: "latch|lockfree",
         })?;
     }
-    // Trace export needs per-worker span journals.
-    cfg.journal = args.get("trace-out").is_some();
+    // Trace and metrics export need per-worker span journals.
+    cfg.journal = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
+    // Hardware counters: explicit opt-in, and implied by the metrics
+    // journal so its phase lines carry measured cycles where possible.
+    cfg.perf = args.flag("perf") || args.get("metrics-out").is_some();
     Ok(cfg)
 }
 
@@ -263,6 +267,23 @@ mod tests {
         let cfg = build_config(&parse("--npj-table latch")).unwrap();
         assert_eq!(cfg.npj.table, NpjTable::Latch);
         assert!(build_config(&parse("--npj-table mutex")).is_err());
+    }
+
+    #[test]
+    fn perf_and_journal_knobs() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert!(!cfg.perf);
+        assert!(!cfg.journal);
+        let cfg = build_config(&parse("--perf")).unwrap();
+        assert!(cfg.perf);
+        assert!(!cfg.journal);
+        // A metrics journal implies both.
+        let cfg = build_config(&parse("--metrics-out /tmp/m.jsonl")).unwrap();
+        assert!(cfg.perf);
+        assert!(cfg.journal);
+        let cfg = build_config(&parse("--trace-out /tmp/t.json")).unwrap();
+        assert!(cfg.journal);
+        assert!(!cfg.perf);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod zipf;
 pub use arena::ChunkedVec;
 pub use columnar::ColumnarStream;
 pub use hash::hash_key;
-pub use phase::{Phase, PhaseBreakdown, PHASES};
+pub use phase::{Phase, PhaseBreakdown, PhaseCounters, PHASES};
 pub use quantile::P2Quantile;
 pub use rate::Rate;
 pub use rng::Rng;

@@ -1,6 +1,7 @@
 //! The six execution phases of the paper's time breakdown (§5.3):
 //! Wait, Partition, Build/Sort, Merge, Probe, Others.
 
+use iawj_obs::perf::CounterDelta;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut};
 
@@ -100,6 +101,63 @@ impl PhaseBreakdown {
     }
 }
 
+/// Hardware-counter deltas per phase — the microarchitectural companion
+/// to [`PhaseBreakdown`]'s wall time. All-zero when the run had no
+/// `perf_event` access. Addable across threads and runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    counters: [CounterDelta; 6],
+}
+
+impl PhaseCounters {
+    /// An all-zero set.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate a counter delta against a phase.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, delta: CounterDelta) {
+        self.counters[phase as usize] += delta;
+    }
+
+    /// Sum across all phases.
+    pub fn total(&self) -> CounterDelta {
+        self.counters
+            .iter()
+            .fold(CounterDelta::zero(), |acc, c| acc + *c)
+    }
+
+    /// True when no phase recorded any event (perf unavailable or never
+    /// sampled).
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(CounterDelta::is_zero)
+    }
+}
+
+impl Index<Phase> for PhaseCounters {
+    type Output = CounterDelta;
+    fn index(&self, phase: Phase) -> &CounterDelta {
+        &self.counters[phase as usize]
+    }
+}
+
+impl AddAssign for PhaseCounters {
+    fn add_assign(&mut self, rhs: PhaseCounters) {
+        for (a, b) in self.counters.iter_mut().zip(rhs.counters.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl Add for PhaseCounters {
+    type Output = PhaseCounters;
+    fn add(mut self, rhs: PhaseCounters) -> PhaseCounters {
+        self += rhs;
+        self
+    }
+}
+
 impl Index<Phase> for PhaseBreakdown {
     type Output = u64;
     fn index(&self, phase: Phase) -> &u64 {
@@ -171,6 +229,26 @@ mod tests {
         b.add_ns(Phase::BuildSort, 1000);
         // 1000 ns at 2.6 GHz = 2600 cycles.
         assert!((b.cycles(Phase::BuildSort, 2.6) - 2600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_counters_accumulate_and_merge() {
+        let mut delta = CounterDelta::zero();
+        delta.vals[0] = 100;
+        delta.vals[1] = 250;
+        let mut a = PhaseCounters::zero();
+        assert!(a.is_zero());
+        a.record(Phase::Probe, delta);
+        a.record(Phase::Probe, delta);
+        assert!(!a.is_zero());
+        assert_eq!(a[Phase::Probe].vals[0], 200);
+        assert_eq!(a[Phase::Wait].vals[0], 0);
+        let mut b = PhaseCounters::zero();
+        b.record(Phase::Wait, delta);
+        let c = a + b;
+        assert_eq!(c[Phase::Probe].vals[1], 500);
+        assert_eq!(c[Phase::Wait].vals[1], 250);
+        assert_eq!(c.total().vals[0], 300);
     }
 
     #[test]

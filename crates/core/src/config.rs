@@ -162,6 +162,10 @@ pub struct RunConfig {
     pub journal: bool,
     /// Ring capacity (spans and marks each) of one worker's journal.
     pub journal_capacity: usize,
+    /// Sample hardware performance counters (cycles, instructions,
+    /// cache/TLB misses, branch mispredicts) per phase on every worker.
+    /// Degrades silently to zero counters when the kernel refuses.
+    pub perf: bool,
     /// Work-distribution knobs (scheduler + morsel size).
     pub sched: SchedConfig,
     /// NPJ knobs.
@@ -188,6 +192,7 @@ impl Default for RunConfig {
             mem_sample_every: 4096,
             journal: false,
             journal_capacity: 1 << 14,
+            perf: false,
             sched: SchedConfig::default(),
             npj: NpjConfig::default(),
             prj: PrjConfig::default(),
@@ -229,6 +234,12 @@ impl RunConfig {
     /// Builder: enable per-worker span journaling.
     pub fn with_journal(mut self) -> Self {
         self.journal = true;
+        self
+    }
+
+    /// Builder: enable per-phase hardware-counter sampling.
+    pub fn with_perf(mut self) -> Self {
+        self.perf = true;
         self
     }
 
@@ -284,6 +295,22 @@ impl RunConfig {
             iawj_obs::SpanJournal::with_capacity(epoch, self.journal_capacity)
         } else {
             iawj_obs::SpanJournal::disabled(epoch)
+        }
+    }
+
+    /// A phase timer for one worker, honouring both the journal and perf
+    /// knobs. Must be called on the worker thread itself: the perf
+    /// sampler binds its counters to the calling thread.
+    pub fn timer_for(
+        &self,
+        initial: iawj_common::Phase,
+        epoch: std::time::Instant,
+    ) -> iawj_exec::PhaseTimer {
+        let journal = self.journal_for(epoch);
+        if self.perf {
+            iawj_exec::PhaseTimer::with_perf(initial, journal)
+        } else {
+            iawj_exec::PhaseTimer::with_journal(initial, journal)
         }
     }
 
@@ -427,5 +454,23 @@ mod tests {
         let j = on.journal_for(epoch);
         assert!(j.enabled());
         assert_eq!(j.epoch(), epoch);
+    }
+
+    #[test]
+    fn timer_factory_respects_flags() {
+        use iawj_common::Phase;
+        let epoch = std::time::Instant::now();
+        let plain = RunConfig::default().timer_for(Phase::Wait, epoch);
+        assert!(!plain.sampling());
+        let parts = plain.finish_parts();
+        assert!(!parts.journal.enabled());
+        // Perf on: never panics; samples only where the kernel allows.
+        let perf = RunConfig::default()
+            .with_journal()
+            .with_perf()
+            .timer_for(Phase::Wait, epoch);
+        let parts = perf.finish_parts();
+        assert!(parts.journal.enabled());
+        assert!(parts.counter_source.is_perf() || parts.counters.is_zero());
     }
 }

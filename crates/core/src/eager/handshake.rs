@@ -20,7 +20,7 @@ use crate::config::RunConfig;
 use crate::lazy::EmitClock;
 use crate::output::WorkerOut;
 use iawj_common::{Key, Phase, Sink, Ts, Tuple};
-use iawj_exec::PhaseTimer;
+
 use std::collections::HashMap;
 use std::sync::mpsc;
 
@@ -103,7 +103,7 @@ fn core_loop(
     clock: &EventClock,
 ) -> WorkerOut {
     let mut out = WorkerOut::new(cfg.sample_every);
-    let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
+    let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
     let mut emit = EmitClock::new(clock);
     let mut r_store: Store = HashMap::new();
     let mut s_store: Store = HashMap::new();

@@ -74,7 +74,7 @@ pub fn drive_worker<E: Engine>(
     clock: &EventClock,
 ) -> WorkerOut {
     let mut out = WorkerOut::new(cfg.sample_every);
-    let mut timer = PhaseTimer::with_journal(Phase::Other, cfg.journal_for(clock.epoch()));
+    let mut timer = cfg.timer_for(Phase::Other, clock.epoch());
     let mut emit = EmitClock::new(clock);
     let mut r_batch: Vec<Tuple> = Vec::with_capacity(BATCH);
     let mut s_batch: Vec<Tuple> = Vec::with_capacity(BATCH);

@@ -19,7 +19,7 @@ use iawj_exec::merge::{
 use iawj_exec::morsel::{for_each_morsel, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed, SortBackend};
-use iawj_exec::{run_workers, Latch, PhaseTimer};
+use iawj_exec::{run_workers, Latch};
 
 /// Run MPass.
 pub fn run(
@@ -50,7 +50,7 @@ pub fn run(
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
+        let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);
 
         // Sort local runs.

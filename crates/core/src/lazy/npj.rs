@@ -15,7 +15,7 @@ use crate::lazy::{steal_scan, EmitClock};
 use crate::output::WorkerOut;
 use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
-use iawj_exec::{run_workers, LockFreeTable, NpjTable, PhaseTimer, SharedTable, StripedTable};
+use iawj_exec::{run_workers, LockFreeTable, NpjTable, SharedTable, StripedTable};
 use iawj_obs::{MARK_CAS_RETRY, MARK_LATCH_WAIT};
 
 /// The shared table behind NPJ, with the scheme chosen by
@@ -100,7 +100,7 @@ pub fn run(
     let probe_q = cfg.sched.queue(s.len(), threads);
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
+        let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);
 
         let mark = table.contention_mark();

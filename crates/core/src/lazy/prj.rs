@@ -79,7 +79,7 @@ pub fn run(
 
     run_workers(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
-        let mut timer = PhaseTimer::with_journal(Phase::Wait, cfg.journal_for(clock.epoch()));
+        let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);
 
         // --- Pass 1: cooperative parallel partition of R and S ---

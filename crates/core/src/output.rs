@@ -1,7 +1,9 @@
 //! Per-worker and per-run outputs.
 
 use crate::algo::Algorithm;
-use iawj_common::{CountingSink, MatchRecord, PhaseBreakdown, Sink};
+use iawj_common::{CountingSink, MatchRecord, PhaseBreakdown, PhaseCounters, Sink};
+use iawj_exec::TimerParts;
+use iawj_obs::perf::CounterSource;
 use iawj_obs::{chrome_trace, LogHistogram, SpanJournal};
 
 /// Everything one worker thread produces.
@@ -11,6 +13,10 @@ pub struct WorkerOut {
     pub sink: CountingSink,
     /// Time spent per phase on this worker.
     pub breakdown: PhaseBreakdown,
+    /// Hardware-counter deltas per phase (all-zero without perf access).
+    pub counters: PhaseCounters,
+    /// Whether this worker's counters came from real hardware counters.
+    pub counter_source: CounterSource,
     /// `(stream_ms, bytes_held)` samples of this worker's state size.
     pub mem_samples: Vec<(f64, usize)>,
     /// This worker's span journal (disabled and empty unless the run
@@ -24,17 +30,21 @@ impl WorkerOut {
         WorkerOut {
             sink: CountingSink::new(sample_every),
             breakdown: PhaseBreakdown::zero(),
+            counters: PhaseCounters::zero(),
+            counter_source: CounterSource::Unavailable,
             mem_samples: Vec::new(),
             journal: None,
         }
     }
 
-    /// Attach a finished timer's parts: the breakdown, and the journal if
-    /// it recorded anything.
-    pub fn set_timing(&mut self, parts: (PhaseBreakdown, SpanJournal)) {
-        self.breakdown = parts.0;
-        if parts.1.enabled() {
-            self.journal = Some(parts.1);
+    /// Attach a finished timer's measurements: breakdown, per-phase
+    /// counters, and the journal if it recorded anything.
+    pub fn set_timing(&mut self, parts: TimerParts) {
+        self.breakdown = parts.breakdown;
+        self.counters = parts.counters;
+        self.counter_source = parts.counter_source;
+        if parts.journal.enabled() {
+            self.journal = Some(parts.journal);
         }
     }
 }
@@ -61,6 +71,11 @@ pub struct RunResult {
     pub elapsed_ms: f64,
     /// Phase breakdown summed over workers (total CPU-side cost).
     pub breakdown: PhaseBreakdown,
+    /// Hardware-counter deltas per phase, summed over workers (all-zero
+    /// when no worker had perf access).
+    pub counters: PhaseCounters,
+    /// `Perf` when at least one worker read real hardware counters.
+    pub counter_source: CounterSource,
     /// Per-worker breakdowns (for utilisation studies).
     pub per_thread: Vec<PhaseBreakdown>,
     /// Exact latency histogram over every match, merged across workers.
@@ -83,6 +98,17 @@ impl RunResult {
         self.journals.iter().map(|(_, j)| j.count_marks(name)).sum()
     }
 
+    /// Total journal marks with the given name that fall inside a span of
+    /// the given phase label, across all workers — e.g. how many
+    /// `"latch:wait"` stalls landed in `"probe"` rather than
+    /// `"build/sort"`. Zero when the run did not journal.
+    pub fn count_marks_in(&self, name: &str, span_name: &str) -> usize {
+        self.journals
+            .iter()
+            .map(|(_, j)| j.count_marks_in(name, span_name))
+            .sum()
+    }
+
     /// Merge per-worker outputs into a run result.
     pub fn merge(
         algorithm: Algorithm,
@@ -96,6 +122,8 @@ impl RunResult {
         let mut samples = Vec::new();
         let mut last_emit_ms = 0.0f64;
         let mut breakdown = PhaseBreakdown::zero();
+        let mut counters = PhaseCounters::zero();
+        let mut counter_source = CounterSource::Unavailable;
         let mut per_thread = Vec::with_capacity(threads);
         let mut mem_samples: Vec<(f64, usize, usize)> = Vec::new();
         let mut hist = LogHistogram::new();
@@ -106,6 +134,10 @@ impl RunResult {
             hist.merge(&w.sink.hist);
             samples.extend(w.sink.samples);
             breakdown += w.breakdown;
+            counters += w.counters;
+            if w.counter_source.is_perf() {
+                counter_source = CounterSource::Perf;
+            }
             per_thread.push(w.breakdown);
             mem_samples.extend(w.mem_samples.iter().map(|&(t, b)| (t, wid, b)));
             if let Some(j) = w.journal {
@@ -124,6 +156,8 @@ impl RunResult {
             last_emit_ms,
             elapsed_ms,
             breakdown,
+            counters,
+            counter_source,
             per_thread,
             hist,
             journals,

@@ -42,4 +42,6 @@ pub use morsel::{for_each_morsel, MorselQueue, MorselStats, Scheduler, DEFAULT_M
 pub use pool::run_workers;
 pub use sort::SortBackend;
 pub use swwc::{ScatterMode, SwwcBuffers, SWWC_TUPLES_PER_LINE};
-pub use timer::{ns_to_cycles, PhaseTimer, NOMINAL_GHZ};
+pub use timer::{
+    cpu_clock, ns_to_cycles, ClockSource, CpuClock, PhaseTimer, TimerParts, NOMINAL_GHZ,
+};

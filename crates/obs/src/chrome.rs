@@ -3,16 +3,22 @@
 //! Produces the JSON object form of the [Trace Event Format] consumed by
 //! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one `"X"`
 //! (complete) event per journal span, one `"i"` (instant) event per mark,
-//! and an `"M"` (metadata) event naming each worker lane. Timestamps are
-//! microseconds with sub-microsecond precision, relative to the shared
-//! journal epoch.
+//! `"M"` (metadata) events naming the process and each worker lane, and —
+//! for spans carrying hardware counters — `"C"` (counter) events so
+//! Perfetto plots per-phase IPC and misses-per-kilo-instruction as
+//! counter tracks under each worker. Timestamps are microseconds with
+//! sub-microsecond precision, relative to the shared journal epoch.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use crate::journal::SpanJournal;
 use crate::json;
+use crate::perf::{IDX_BRANCH_MISSES, IDX_DTLB_MISSES, IDX_L1D_MISSES, IDX_LLC_MISSES};
 
 const PID: u64 = 1;
+
+/// Name of the trace process, shown by Perfetto's process label.
+const PROCESS_NAME: &str = "iawj";
 
 fn push_common(out: &mut String, name: &str, ph: &str, tid: usize) {
     out.push_str("{\"name\":");
@@ -41,6 +47,11 @@ pub fn chrome_trace(journals: &[(usize, &SpanJournal)]) -> String {
             out.push(',');
         }
     };
+    if !journals.is_empty() {
+        sep(&mut out);
+        push_common(&mut out, "process_name", "M", 0);
+        out.push_str(&format!(",\"args\":{{\"name\":\"{PROCESS_NAME}\"}}}}"));
+    }
     for &(tid, journal) in journals {
         sep(&mut out);
         push_common(&mut out, "thread_name", "M", tid);
@@ -51,6 +62,30 @@ pub fn chrome_trace(journals: &[(usize, &SpanJournal)]) -> String {
             push_ts(&mut out, span.begin_ns);
             let dur = span.end_ns.saturating_sub(span.begin_ns);
             out.push_str(&format!(",\"dur\":{}.{:03}}}", dur / 1_000, dur % 1_000));
+            let Some(c) = span.counters else { continue };
+            if c.instructions() == 0 {
+                continue;
+            }
+            // Counter tracks: one IPC series and one multi-series MPKI
+            // (misses per kilo-instruction) track per worker lane,
+            // sampled at each phase span's start.
+            sep(&mut out);
+            push_common(&mut out, "ipc", "C", tid);
+            push_ts(&mut out, span.begin_ns);
+            out.push_str(&format!(
+                ",\"args\":{{\"value\":{:.3}}}}}",
+                c.ipc().unwrap_or(0.0)
+            ));
+            sep(&mut out);
+            push_common(&mut out, "mpki", "C", tid);
+            push_ts(&mut out, span.begin_ns);
+            out.push_str(&format!(
+                ",\"args\":{{\"l1d\":{:.3},\"llc\":{:.3},\"dtlb\":{:.3},\"branch\":{:.3}}}}}",
+                c.per_kilo_instruction(IDX_L1D_MISSES).unwrap_or(0.0),
+                c.per_kilo_instruction(IDX_LLC_MISSES).unwrap_or(0.0),
+                c.per_kilo_instruction(IDX_DTLB_MISSES).unwrap_or(0.0),
+                c.per_kilo_instruction(IDX_BRANCH_MISSES).unwrap_or(0.0)
+            ));
         }
         for mark in journal.marks() {
             sep(&mut out);
@@ -101,9 +136,22 @@ mod tests {
         j.mark("barrier:build_done", epoch + Duration::from_nanos(1_500));
         let doc = Json::parse(&chrome_trace(&[(3, &j)])).unwrap();
         let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
-        assert_eq!(events.len(), 3);
+        assert_eq!(events.len(), 4);
 
-        let meta = &events[0];
+        let proc = &events[0];
+        assert_eq!(proc.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            proc.get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            proc.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("iawj")
+        );
+
+        let meta = &events[1];
         assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
         assert_eq!(
             meta.get("args")
@@ -112,20 +160,70 @@ mod tests {
             Some("worker 3")
         );
 
-        let span = &events[1];
+        let span = &events[2];
         assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(span.get("name").and_then(Json::as_str), Some("probe"));
         assert_eq!(span.get("tid").and_then(Json::as_u64), Some(3));
         assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1.5));
         assert_eq!(span.get("dur").and_then(Json::as_f64), Some(3.0));
 
-        let mark = &events[2];
+        let mark = &events[3];
         assert_eq!(mark.get("ph").and_then(Json::as_str), Some("i"));
         assert_eq!(
             mark.get("name").and_then(Json::as_str),
             Some("barrier:build_done")
         );
         assert_eq!(mark.get("ts").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn counter_spans_emit_counter_tracks() {
+        use crate::perf::{CounterDelta, IDX_CYCLES, IDX_INSTRUCTIONS, IDX_L1D_MISSES};
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 8);
+        let mut c = CounterDelta::zero();
+        c.vals[IDX_CYCLES] = 2_000;
+        c.vals[IDX_INSTRUCTIONS] = 4_000;
+        c.vals[IDX_L1D_MISSES] = 100;
+        j.record_span_with(
+            "probe",
+            epoch + Duration::from_nanos(1_000),
+            epoch + Duration::from_nanos(2_000),
+            Some(c),
+        );
+        // A counter-less span emits no C events.
+        j.record_span(
+            "wait",
+            epoch + Duration::from_nanos(2_000),
+            epoch + Duration::from_nanos(3_000),
+        );
+        let doc = Json::parse(&chrome_trace(&[(0, &j)])).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let ipc = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("ipc"))
+            .unwrap();
+        assert_eq!(
+            ipc.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let mpki = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("mpki"))
+            .unwrap();
+        assert_eq!(
+            mpki.get("args")
+                .and_then(|a| a.get("l1d"))
+                .and_then(Json::as_f64),
+            Some(25.0)
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! what makes it safe to thread through the kernel hot paths
 //! unconditionally.
 
+use crate::perf::CounterDelta;
 use std::time::Instant;
 
 /// Journal mark recorded once per contended latch acquisition: the build
@@ -30,6 +31,9 @@ pub struct Span {
     pub begin_ns: u64,
     /// Nanoseconds since the journal epoch at which the span ended.
     pub end_ns: u64,
+    /// Hardware-counter deltas accumulated over the span, when the
+    /// recording thread had a [`PerfSampler`](crate::perf::PerfSampler).
+    pub counters: Option<CounterDelta>,
 }
 
 /// A point event: something that happened, with no duration.
@@ -98,6 +102,19 @@ impl SpanJournal {
     /// when full.
     #[inline]
     pub fn record_span(&mut self, name: &'static str, begin: Instant, end: Instant) {
+        self.record_span_with(name, begin, end, None);
+    }
+
+    /// Record one span with hardware-counter deltas attached. No-op when
+    /// disabled; overwrites the oldest entry when full.
+    #[inline]
+    pub fn record_span_with(
+        &mut self,
+        name: &'static str,
+        begin: Instant,
+        end: Instant,
+        counters: Option<CounterDelta>,
+    ) {
         if self.cap == 0 {
             return;
         }
@@ -105,6 +122,7 @@ impl SpanJournal {
             name,
             begin_ns: self.elapsed_ns(begin),
             end_ns: self.elapsed_ns(end),
+            counters,
         };
         if self.spans.len() < self.cap {
             self.spans.push(span);
@@ -168,6 +186,23 @@ impl SpanJournal {
         self.marks.iter().filter(|m| m.name == name).count()
     }
 
+    /// Number of retained marks with the given name whose instant falls
+    /// inside a retained span named `span_name` — i.e. events attributed
+    /// to a phase. Half-open span intervals (`begin_ns <= at < end_ns`)
+    /// keep a mark landing exactly on a phase switch out of both phases'
+    /// columns rather than in both.
+    pub fn count_marks_in(&self, name: &str, span_name: &str) -> usize {
+        self.marks
+            .iter()
+            .filter(|m| m.name == name)
+            .filter(|m| {
+                self.spans
+                    .iter()
+                    .any(|s| s.name == span_name && s.begin_ns <= m.at_ns && m.at_ns < s.end_ns)
+            })
+            .count()
+    }
+
     /// Entries overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -209,7 +244,8 @@ mod tests {
             vec![Span {
                 name: "build/sort",
                 begin_ns: 100,
-                end_ns: 250
+                end_ns: 250,
+                counters: None
             }]
         );
         assert_eq!(
@@ -231,6 +267,40 @@ mod tests {
         assert_eq!(j.count_marks("morsel:claim"), 2);
         assert_eq!(j.count_marks("morsel:steal"), 1);
         assert_eq!(j.count_marks("absent"), 0);
+    }
+
+    #[test]
+    fn record_span_with_attaches_counters() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 4);
+        let mut c = CounterDelta::zero();
+        c.vals[0] = 42;
+        j.record_span_with("probe", at(epoch, 10), at(epoch, 20), Some(c));
+        j.record_span("wait", at(epoch, 20), at(epoch, 30));
+        let spans = j.spans();
+        assert_eq!(spans[0].counters, Some(c));
+        assert_eq!(spans[1].counters, None);
+    }
+
+    #[test]
+    fn count_marks_in_attributes_marks_to_phases() {
+        let epoch = Instant::now();
+        let mut j = SpanJournal::with_capacity(epoch, 16);
+        j.record_span("build/sort", at(epoch, 0), at(epoch, 100));
+        j.record_span("probe", at(epoch, 100), at(epoch, 200));
+        j.mark(MARK_LATCH_WAIT, at(epoch, 50)); // in build/sort
+        j.mark(MARK_LATCH_WAIT, at(epoch, 150)); // in probe
+        j.mark(MARK_LATCH_WAIT, at(epoch, 160)); // in probe
+        j.mark(MARK_CAS_RETRY, at(epoch, 170)); // in probe, other name
+        j.mark(MARK_LATCH_WAIT, at(epoch, 300)); // outside every span
+        assert_eq!(j.count_marks_in(MARK_LATCH_WAIT, "build/sort"), 1);
+        assert_eq!(j.count_marks_in(MARK_LATCH_WAIT, "probe"), 2);
+        assert_eq!(j.count_marks_in(MARK_CAS_RETRY, "probe"), 1);
+        assert_eq!(j.count_marks_in(MARK_LATCH_WAIT, "wait"), 0);
+        // A mark exactly on the switch boundary belongs to the later span.
+        j.mark(MARK_CAS_RETRY, at(epoch, 100));
+        assert_eq!(j.count_marks_in(MARK_CAS_RETRY, "build/sort"), 0);
+        assert_eq!(j.count_marks_in(MARK_CAS_RETRY, "probe"), 2);
     }
 
     #[test]

@@ -20,17 +20,30 @@
 //! - [`json`] — a dependency-free JSON writer/parser used by the exporters
 //!   and their tests.
 //! - [`report`] — the human-readable Figure-7-style phase breakdown table.
+//! - [`perf`] — hardware performance counters via raw `perf_event_open`
+//!   syscalls (cycles, instructions, cache/TLB misses, branch mispredicts)
+//!   with graceful degradation wherever the kernel refuses.
+//! - [`snapshot`] — the versioned `BENCH_<fig>.json` benchmark-snapshot
+//!   schema: the repo's machine-readable perf trajectory.
+//! - [`diff`] — snapshot comparison with regression thresholds, backing
+//!   the `iawj bench-diff` subcommand.
 //!
 //! This crate is deliberately dependency-free (it sits below `iawj-common`
 //! so the match sink can embed a histogram).
 
 pub mod chrome;
+pub mod diff;
 pub mod hist;
 pub mod journal;
 pub mod json;
+pub mod perf;
 pub mod report;
+pub mod snapshot;
 
 pub use chrome::chrome_trace;
+pub use diff::{diff, DiffReport, DiffThresholds, RunDiff, Verdict};
 pub use hist::LogHistogram;
 pub use journal::{Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_LATCH_WAIT};
+pub use perf::{CounterDelta, CounterSource, PerfError, PerfSampler, COUNTER_NAMES, N_COUNTERS};
 pub use report::{breakdown_table, PhaseRow};
+pub use snapshot::{BenchSnapshot, CachesimPerTuple, PhaseSnapshot, RunSnapshot, SCHEMA_VERSION};
