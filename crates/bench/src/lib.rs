@@ -22,7 +22,7 @@
 //! that directory (one file per table, named after the banner), ready for
 //! plotting scripts.
 
-use iawj_core::{execute, Algorithm, RunConfig, RunResult};
+use iawj_core::{execute, Algorithm, RunConfig, RunResult, StreamReport};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
 
 /// Harness-wide settings read from the environment.
@@ -167,6 +167,31 @@ impl SnapshotWriter {
                     counters: res.counters[p],
                 })
                 .collect(),
+            cachesim: None,
+        });
+    }
+
+    /// Record one continuous-streaming run. Streaming has no
+    /// [`RunResult`]; the row maps the [`StreamReport`]'s service metrics
+    /// onto the snapshot schema — throughput is the operator-limited
+    /// sustained ingest rate in tuples per *wall* ms (replay is unpaced,
+    /// so backpressure makes producers run exactly as fast as the
+    /// operator drains), latency quantiles are per-window close (join)
+    /// wall times.
+    pub fn record_stream(&mut self, workload: &str, engine: &str, report: &StreamReport) {
+        self.snap.runs.push(RunSnapshot {
+            workload: workload.into(),
+            engine: engine.into(),
+            threads: self.snap.threads,
+            scheduler: "static".into(),
+            scatter: "direct".into(),
+            npj_table: "latch".into(),
+            throughput_tpms: report.wall_tpms(),
+            latency_p99_ms: report.close_hist.quantile_ms(0.99),
+            latency_max_ms: report.close_hist.max_ms(),
+            matches: report.matches,
+            counter_source: "none".into(),
+            phases: Vec::new(),
             cachesim: None,
         });
     }

@@ -62,6 +62,7 @@ const FLAG_NAMES: &[&str] = &[
     "scalar-sort",
     "eager-merge",
     "perf",
+    "no-share",
     "warn-only",
     "help",
 ];

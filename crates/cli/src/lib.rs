@@ -13,6 +13,7 @@
 //! ```
 
 pub mod args;
+pub mod serve;
 pub mod summary;
 pub mod workload;
 
@@ -64,7 +65,7 @@ pub const USAGE: &str = "\
 iawj — intra-window join study driver
 
 USAGE:
-  iawj <run|recommend|sweep|trace|generate|bench-diff> [options]
+  iawj <run|serve|recommend|sweep|trace|generate|bench-diff> [options]
 
   Any subcommand also accepts --input-r FILE --input-s FILE to join your
   own key,ts CSV streams instead of a generated workload.
@@ -97,6 +98,17 @@ RUN OPTIONS (run, sweep, trace):
                      IPC/MPKI counter tracks when --perf sampled)
   --metrics-out FILE write a JSONL metrics journal (histogram, phases;
                      implies --perf)
+
+SERVE OPTIONS (continuous streaming join; also takes --algo, --threads,
+--speedup, --rate-r, --rate-s, --dupe, --skew-key, --skew-ts, --seed,
+--json, --metrics-out):
+  --window-spec S    tumbling:LEN | sliding:LEN/SLIDE | session:GAP in ms
+                     (default tumbling:250)
+  --duration-ms N    stream time to generate and ingest (default 3000)
+  --lateness N       allowed out-of-orderness in ms (default 0)
+  --queue-cap N      ingress SPSC queue capacity (default 1024)
+  --tick-ms F        metrics tick interval in wall ms (default 250)
+  --no-share         disable pane sharing for sliding windows
 
 RECOMMEND OPTIONS:
   --objective throughput|latency|progressiveness   (default throughput)
@@ -135,6 +147,9 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
     }
     let out = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "serve" => args
+            .check_known(&allowed(serve::SERVE_OPTS))
+            .and_then(|()| serve::cmd_serve(&args)),
         "recommend" => cmd_recommend(&args),
         "sweep" => cmd_sweep(&args),
         "trace" => cmd_trace(&args),
@@ -458,6 +473,81 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("matches:       2500"), "{out}");
+    }
+
+    #[test]
+    fn serve_runs_a_short_stream() {
+        let out = run_cli_str(&[
+            "serve",
+            "--algo",
+            "NPJ",
+            "--window-spec",
+            "tumbling:100",
+            "--duration-ms",
+            "400",
+            "--rate-r",
+            "20",
+            "--rate-s",
+            "20",
+            "--speedup",
+            "200",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("engine:        NPJ"), "{out}");
+        assert!(out.contains("window spec:   tumbling:100"), "{out}");
+        assert!(out.contains("windows:       4 closed"), "{out}");
+    }
+
+    #[test]
+    fn serve_json_summary_parses() {
+        let out = run_cli_str(&[
+            "serve",
+            "--algo",
+            "SHJ_JM",
+            "--window-spec",
+            "sliding:100/50",
+            "--duration-ms",
+            "300",
+            "--rate-r",
+            "10",
+            "--rate-s",
+            "10",
+            "--speedup",
+            "300",
+            "--threads",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        let j = iawj_obs::json::Json::parse(&out).expect("summary is valid JSON");
+        assert_eq!(
+            j.get("type").and_then(iawj_obs::json::Json::as_str),
+            Some("stream_summary")
+        );
+        assert_eq!(
+            j.get("window_spec").and_then(iawj_obs::json::Json::as_str),
+            Some("sliding:100/50")
+        );
+        assert!(j
+            .get("matches")
+            .and_then(iawj_obs::json::Json::as_u64)
+            .is_some());
+    }
+
+    #[test]
+    fn serve_rejects_bad_window_spec() {
+        for bad in [
+            "hopping:10",
+            "tumbling:0",
+            "sliding:100",
+            "sliding:0/10",
+            "",
+        ] {
+            let err = run_cli_str(&["serve", "--algo", "NPJ", "--window-spec", bad]).unwrap_err();
+            assert!(err.contains("window-spec"), "{bad}: {err}");
+        }
     }
 
     #[test]

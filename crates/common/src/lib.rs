@@ -19,6 +19,7 @@ pub mod quantile;
 pub mod rate;
 pub mod rng;
 pub mod sink;
+pub mod spsc;
 pub mod tuple;
 pub mod window;
 pub mod zipf;
@@ -31,6 +32,7 @@ pub use quantile::P2Quantile;
 pub use rate::Rate;
 pub use rng::Rng;
 pub use sink::{CollectingSink, CountingSink, MatchRecord, Sink};
+pub use spsc::{stream_channel, RecvError, StreamReceiver, StreamSender};
 pub use tuple::{Key, Ts, Tuple};
 pub use window::Window;
 pub use zipf::Zipf;

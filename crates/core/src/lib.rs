@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod output;
 pub mod reference;
 pub mod runner;
+pub mod streaming;
 pub mod trace;
 pub mod windowing;
 
@@ -47,3 +48,4 @@ pub use config::{RunConfig, SchedConfig};
 pub use iawj_exec::{NpjTable, ScatterMode, Scheduler};
 pub use output::RunResult;
 pub use runner::execute;
+pub use streaming::{run_replay, ClosedWindow, StreamConfig, StreamReport, StreamingJoin};

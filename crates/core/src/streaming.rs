@@ -1,0 +1,1023 @@
+//! Continuous streaming join: the long-running deployment of the IaWJ.
+//!
+//! Every engine in this crate joins one window at rest; the paper (§2)
+//! frames that as the building block any window type composes over. This
+//! module supplies the composition as a service: a [`StreamingJoin`]
+//! operator ingests two unbounded, timestamp-ordered streams through
+//! bounded SPSC queues (blocking backpressure — a slow join throttles its
+//! sources), assigns tuples to panes, closes windows as the watermark
+//! advances, and runs any of the eight engines over each closed window.
+//!
+//! ## Watermark semantics
+//!
+//! The watermark is `min(max_ts_R, max_ts_S) - allowed_lateness_ms`: the
+//! operator trusts each source to be in timestamp order up to a bounded
+//! shuffle of `allowed_lateness_ms`. A window `[start, end)` closes once
+//! the watermark reaches `end`; a tuple arriving with `ts` strictly behind
+//! the watermark is *late* — counted, journaled (`stream:late`), and
+//! dropped. An exhausted source's contribution to the `min` becomes +∞, so
+//! when both sources end the watermark jumps to +∞ and every remaining
+//! window (exactly the set [`windows_for`] realizes over the final
+//! streams) flushes.
+//!
+//! ## Pane sharing
+//!
+//! Sliding windows overlap, and a naive operator re-joins every tuple
+//! `len/slide` times. With pane sharing the time axis is cut into panes of
+//! `g = gcd(len, slide)` ms. A window join does **not** decompose into
+//! per-pane joins — matches cross pane boundaries — but it does decompose
+//! into pane *pairs*: `matches(window) = Σ M(i, j)` over all panes `i, j`
+//! inside the window, where `M(i, j)` is the match count of pane `i`'s
+//! R-side against pane `j`'s S-side. Because `g` divides both `slide` and
+//! `len`, every containing window covers whole panes, so `M(i, j)` is
+//! computed once (one engine run over the pane pair, cached) and re-used
+//! by every window that contains both panes. The number of such windows is
+//! exactly [`pair_multiplicity`] evaluated at the pane corners — constant
+//! across the pair — which gives the recombination identity the property
+//! tests pin: `Σ per-window matches = Σ M(i, j) × multiplicity(i, j)`.
+//! A pane (and its cached pairs) is evicted as soon as the last window
+//! containing it has closed.
+//!
+//! Session windows are data-dependent and disjoint, so there is nothing to
+//! share: a session closes when the watermark passes `last_stamp + gap`
+//! (no future tuple can extend it) and its tuples are joined once.
+//!
+//! ## Backpressure contract
+//!
+//! Ingress queues are bounded; `send` blocks while full. Producers are
+//! never asked to drop data — the queue counts blocking episodes and the
+//! operator surfaces each observation as a `stream:backpressure` journal
+//! instant plus a counter in the report and the periodic [`StreamTick`].
+
+use crate::algo::Algorithm;
+use crate::config::RunConfig;
+use crate::runner::execute;
+use crate::windowing::{pair_multiplicity, WindowSpec};
+use iawj_common::spsc::{stream_channel, RecvError, StreamReceiver, StreamSender};
+use iawj_common::{Rate, Ts, Tuple, Window};
+use iawj_datagen::{Dataset, StreamSource};
+use iawj_obs::{
+    LogHistogram, SpanJournal, StreamTick, MARK_STREAM_BACKPRESSURE, MARK_STREAM_CLOSE,
+    MARK_STREAM_INGEST, MARK_STREAM_LATE,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The end-of-stream watermark: both sources exhausted, every window may
+/// close.
+pub const WM_END: u64 = u64::MAX;
+
+/// Tuples drained from one queue per poll before servicing the other side
+/// and the window state.
+const INGEST_BATCH: usize = 256;
+
+/// Configuration of a [`StreamingJoin`] operator.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// How the time axis is carved into windows.
+    pub spec: WindowSpec,
+    /// The engine run over each closed window (or pane pair).
+    pub engine: Algorithm,
+    /// Per-engine-run configuration (threads, scheduler, ...).
+    pub run: RunConfig,
+    /// Bounded out-of-orderness tolerated before a tuple is late.
+    pub allowed_lateness_ms: u32,
+    /// Share gcd-sized panes across overlapping sliding windows.
+    pub share_panes: bool,
+    /// Wall-clock metrics interval in ms (0 disables periodic ticks; one
+    /// final tick is always emitted).
+    pub tick_every_ms: f64,
+}
+
+impl StreamConfig {
+    /// A config with the given window spec and engine; 0 ms lateness, pane
+    /// sharing on, 2-thread engine runs, ticks once per second.
+    pub fn new(spec: WindowSpec, engine: Algorithm) -> Self {
+        match spec {
+            WindowSpec::Tumbling { len_ms } => assert!(len_ms > 0),
+            WindowSpec::Sliding { len_ms, slide_ms } => assert!(len_ms > 0 && slide_ms > 0),
+            WindowSpec::Session { gap_ms } => assert!(gap_ms > 0),
+        }
+        StreamConfig {
+            spec,
+            engine,
+            run: RunConfig::with_threads(2),
+            allowed_lateness_ms: 0,
+            share_panes: true,
+            tick_every_ms: 1000.0,
+        }
+    }
+
+    /// Set the allowed out-of-orderness.
+    pub fn lateness(mut self, ms: u32) -> Self {
+        self.allowed_lateness_ms = ms;
+        self
+    }
+
+    /// Enable or disable pane sharing.
+    pub fn share_panes(mut self, on: bool) -> Self {
+        self.share_panes = on;
+        self
+    }
+
+    /// Replace the per-engine-run configuration.
+    pub fn run_config(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Set the metrics tick interval (wall ms; 0 disables).
+    pub fn tick_every_ms(mut self, ms: f64) -> Self {
+        self.tick_every_ms = ms;
+        self
+    }
+}
+
+/// One window closed by the operator, in window-start order.
+#[derive(Clone, Debug)]
+pub struct ClosedWindow {
+    /// The closed window.
+    pub window: Window,
+    /// Matches found by the engine over this window.
+    pub matches: u64,
+    /// R-side tuples that fell in this window.
+    pub inputs_r: usize,
+    /// S-side tuples that fell in this window.
+    pub inputs_s: usize,
+    /// The watermark when the window closed ([`WM_END`] when flushed
+    /// because both sources ended).
+    pub watermark_ms: u64,
+    /// Wall ms spent joining (engine runs + recombination) at close.
+    pub join_wall_ms: f64,
+    /// Pane pairs whose engine run happened at this close (shared mode).
+    pub pane_pairs_computed: usize,
+    /// Pane pairs answered from the cache at this close (shared mode).
+    pub pane_pairs_reused: usize,
+}
+
+impl ClosedWindow {
+    /// Whether this window closed in the end-of-stream flush rather than
+    /// by watermark advance.
+    pub fn flushed_at_end(&self) -> bool {
+        self.watermark_ms == WM_END
+    }
+}
+
+/// Everything a finished [`StreamingJoin`] run observed.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Every closed window, in start order.
+    pub windows: Vec<ClosedWindow>,
+    /// Total matches across all closed windows.
+    pub matches: u64,
+    /// Total matches recombined as `Σ M(i,j) × pair_multiplicity` (shared
+    /// pane mode and sessions; `None` when the naive per-window path ran).
+    pub matches_via_multiplicity: Option<u64>,
+    /// Tuples ingested from the R side (late drops included).
+    pub ingested_r: u64,
+    /// Tuples ingested from the S side (late drops included).
+    pub ingested_s: u64,
+    /// Late tuples dropped.
+    pub late_dropped: u64,
+    /// Producer blocking episodes observed on the ingress queues.
+    pub backpressure_waits: u64,
+    /// Engine invocations (whole windows or pane pairs).
+    pub engine_runs: u64,
+    /// Most panes (or pending sessions) resident at once. Pane counts are
+    /// tracked per tuple; session residency needs a scan of the pending
+    /// set and is sampled at metrics ticks.
+    pub peak_resident_panes: usize,
+    /// Deepest ingress queue observed at a poll boundary.
+    pub peak_queue_depth: usize,
+    /// The watermark when the run ended ([`WM_END`] on a drained stream).
+    pub final_watermark_ms: u64,
+    /// Stream time covered: the maximum timestamp ingested.
+    pub stream_ms: u64,
+    /// Wall time of the whole run.
+    pub wall_ms: f64,
+    /// Per-window close (join) wall-time histogram.
+    pub close_hist: LogHistogram,
+    /// Periodic metrics ticks (always at least the final one).
+    pub ticks: Vec<StreamTick>,
+    /// The operator's journal: `stream:*` instants.
+    pub journal: SpanJournal,
+}
+
+impl StreamReport {
+    /// Ingest throughput in tuples per stream millisecond.
+    pub fn throughput_tpms(&self) -> f64 {
+        if self.stream_ms == 0 {
+            0.0
+        } else {
+            (self.ingested_r + self.ingested_s) as f64 / self.stream_ms as f64
+        }
+    }
+
+    /// Sustained ingest rate in tuples per *wall* millisecond — the
+    /// operator-limited rate when replay is unpaced (backpressure makes
+    /// the producers run exactly as fast as the operator drains).
+    pub fn wall_tpms(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            (self.ingested_r + self.ingested_s) as f64 / self.wall_ms
+        }
+    }
+
+    /// Count of a named journal instant (`stream:*`).
+    pub fn count_marks(&self, name: &str) -> usize {
+        self.journal.count_marks(name)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    R,
+    S,
+}
+
+#[derive(Clone, Copy)]
+enum Geo {
+    /// Tumbling/sliding normalized to (len, slide) with `g = gcd`.
+    Panes {
+        len: u64,
+        slide: u64,
+        g: u64,
+    },
+    Session {
+        gap: u64,
+    },
+}
+
+#[derive(Default)]
+struct Pane {
+    r: Vec<Tuple>,
+    s: Vec<Tuple>,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The long-running streaming join operator. See the module docs.
+pub struct StreamingJoin {
+    cfg: StreamConfig,
+    geo: Geo,
+    panes: BTreeMap<u64, Pane>,
+    pairs: HashMap<(u64, u64), u64>,
+    next_window: u64,
+    pending_r: Vec<Tuple>,
+    pending_s: Vec<Tuple>,
+    max_r: Option<u64>,
+    max_s: Option<u64>,
+    done_r: bool,
+    done_s: bool,
+    last_advanced_wm: Option<u64>,
+    /// Session mode: the earliest watermark that could close the first
+    /// pending session (`last + gap` from the last scan). Adding tuples
+    /// only fills gaps — the first run's close point never moves earlier —
+    /// so while the watermark is below this bound `advance` can skip the
+    /// full sort-and-scan entirely. `None` forces a rescan.
+    next_session_close: Option<u64>,
+    windows: Vec<ClosedWindow>,
+    matches: u64,
+    via_mult: Option<u64>,
+    ingested_r: u64,
+    ingested_s: u64,
+    late: u64,
+    engine_runs: u64,
+    peak_resident: usize,
+    close_hist: LogHistogram,
+    journal: SpanJournal,
+}
+
+impl StreamingJoin {
+    /// Build an operator for `cfg`.
+    pub fn new(cfg: StreamConfig) -> Self {
+        let geo = match cfg.spec {
+            WindowSpec::Tumbling { len_ms } => Geo::Panes {
+                len: len_ms as u64,
+                slide: len_ms as u64,
+                g: len_ms as u64,
+            },
+            WindowSpec::Sliding { len_ms, slide_ms } => Geo::Panes {
+                len: len_ms as u64,
+                slide: slide_ms as u64,
+                g: gcd(len_ms as u64, slide_ms as u64),
+            },
+            WindowSpec::Session { gap_ms } => Geo::Session { gap: gap_ms as u64 },
+        };
+        let track_mult = match geo {
+            Geo::Panes { .. } => cfg.share_panes,
+            Geo::Session { .. } => true,
+        };
+        let journal = SpanJournal::with_capacity(Instant::now(), cfg.run.journal_capacity);
+        StreamingJoin {
+            geo,
+            panes: BTreeMap::new(),
+            pairs: HashMap::new(),
+            next_window: 0,
+            pending_r: Vec::new(),
+            pending_s: Vec::new(),
+            max_r: None,
+            max_s: None,
+            done_r: false,
+            done_s: false,
+            last_advanced_wm: None,
+            next_session_close: None,
+            windows: Vec::new(),
+            matches: 0,
+            via_mult: if track_mult { Some(0) } else { None },
+            ingested_r: 0,
+            ingested_s: 0,
+            late: 0,
+            engine_runs: 0,
+            peak_resident: 0,
+            close_hist: LogHistogram::new(),
+            journal,
+            cfg,
+        }
+    }
+
+    /// The current watermark: `None` until both sides have reported a
+    /// timestamp (an exhausted side counts as +∞), [`WM_END`] once both
+    /// sources are exhausted.
+    fn watermark(&self) -> Option<u64> {
+        let eff = |max: Option<u64>, done: bool| {
+            if done {
+                Some(u64::MAX)
+            } else {
+                max
+            }
+        };
+        let raw = eff(self.max_r, self.done_r)?.min(eff(self.max_s, self.done_s)?);
+        Some(if raw == u64::MAX {
+            WM_END
+        } else {
+            raw.saturating_sub(self.cfg.allowed_lateness_ms as u64)
+        })
+    }
+
+    fn max_seen(&self) -> u64 {
+        self.max_r.unwrap_or(0).max(self.max_s.unwrap_or(0))
+    }
+
+    fn resident(&self) -> usize {
+        match self.geo {
+            Geo::Panes { .. } => self.panes.len(),
+            Geo::Session { gap } => session_count(&self.pending_r, &self.pending_s, gap),
+        }
+    }
+
+    fn ingest(&mut self, t: Tuple, side: Side) {
+        match side {
+            Side::R => {
+                self.ingested_r += 1;
+                self.max_r = Some(self.max_r.unwrap_or(0).max(t.ts as u64));
+            }
+            Side::S => {
+                self.ingested_s += 1;
+                self.max_s = Some(self.max_s.unwrap_or(0).max(t.ts as u64));
+            }
+        }
+        // Late iff strictly behind the watermark: every state this tuple
+        // could touch (panes of closed windows, closed sessions) lies
+        // entirely behind the watermark, so non-late tuples always find
+        // their state still resident.
+        if let Some(wm) = self.watermark() {
+            if (t.ts as u64) < wm {
+                self.late += 1;
+                self.journal.mark(MARK_STREAM_LATE, Instant::now());
+                return;
+            }
+        }
+        match self.geo {
+            Geo::Panes { g, .. } => {
+                let pane = self.panes.entry(t.ts as u64 / g).or_default();
+                match side {
+                    Side::R => pane.r.push(t),
+                    Side::S => pane.s.push(t),
+                }
+            }
+            Geo::Session { .. } => match side {
+                Side::R => self.pending_r.push(t),
+                Side::S => self.pending_s.push(t),
+            },
+        }
+        // Pane count is O(1) to read; session residency needs a scan, so
+        // it is sampled at metrics ticks instead of per tuple.
+        if matches!(self.geo, Geo::Panes { .. }) {
+            self.peak_resident = self.peak_resident.max(self.panes.len());
+        }
+    }
+
+    fn drain_side(&mut self, rx: &StreamReceiver<Tuple>, side: Side) -> usize {
+        let mut got = 0;
+        while got < INGEST_BATCH {
+            match rx.try_recv() {
+                Ok(t) => {
+                    self.ingest(t, side);
+                    got += 1;
+                }
+                Err(RecvError::Empty) => break,
+                Err(RecvError::Disconnected) => {
+                    match side {
+                        Side::R => self.done_r = true,
+                        Side::S => self.done_s = true,
+                    }
+                    break;
+                }
+            }
+        }
+        got
+    }
+
+    fn advance<FW: FnMut(&ClosedWindow)>(&mut self, on_window: &mut FW) {
+        let Some(wm) = self.watermark() else { return };
+        if self.last_advanced_wm == Some(wm) {
+            return;
+        }
+        self.last_advanced_wm = Some(wm);
+        match self.geo {
+            Geo::Panes { len, slide, .. } => loop {
+                let start = self.next_window * slide;
+                let closable = if wm == WM_END {
+                    // End-of-stream flush: exactly the window set
+                    // `windows_for` realizes (starts up to the last ts).
+                    start <= self.max_seen()
+                } else {
+                    wm >= start + len
+                };
+                if !closable {
+                    break;
+                }
+                let k = self.next_window;
+                self.next_window += 1;
+                self.close_pane_window(k, wm, on_window);
+            },
+            Geo::Session { gap } => loop {
+                if self.pending_r.is_empty() && self.pending_s.is_empty() {
+                    break;
+                }
+                // Cheap gate: below the cached close bound nothing can
+                // close, so skip the full sort-and-scan of the pending set.
+                if wm != WM_END && self.next_session_close.is_some_and(|nc| wm < nc) {
+                    break;
+                }
+                let mut stamps: Vec<u64> = self
+                    .pending_r
+                    .iter()
+                    .chain(self.pending_s.iter())
+                    .map(|t| t.ts as u64)
+                    .collect();
+                stamps.sort_unstable();
+                let start = stamps[0];
+                let mut last = start;
+                for &t in &stamps[1..] {
+                    if t - last >= gap {
+                        break;
+                    }
+                    last = t;
+                }
+                // Close only when no future tuple can extend (or bridge)
+                // this session: the watermark must clear last + gap.
+                if wm != WM_END && wm < last + gap {
+                    self.next_session_close = Some(last + gap);
+                    break;
+                }
+                self.next_session_close = None;
+                self.close_session(start, last, wm, on_window);
+            },
+        }
+    }
+
+    fn close_pane_window<FW: FnMut(&ClosedWindow)>(&mut self, k: u64, wm: u64, on_window: &mut FW) {
+        let Geo::Panes { len, slide, g } = self.geo else {
+            unreachable!()
+        };
+        let t0 = Instant::now();
+        let start = k * slide;
+        let (a, b) = (start / g, (start + len) / g);
+        let mut inputs_r = 0;
+        let mut inputs_s = 0;
+        for (_, pane) in self.panes.range(a..b) {
+            inputs_r += pane.r.len();
+            inputs_s += pane.s.len();
+        }
+        let mut matches = 0u64;
+        let mut computed = 0usize;
+        let mut reused = 0usize;
+        if self.cfg.share_panes {
+            for i in a..b {
+                for j in a..b {
+                    let (r_len, s_len) = {
+                        let pr = self.panes.get(&i).map(|p| p.r.len()).unwrap_or(0);
+                        let ps = self.panes.get(&j).map(|p| p.s.len()).unwrap_or(0);
+                        (pr, ps)
+                    };
+                    if r_len == 0 || s_len == 0 {
+                        continue;
+                    }
+                    if let Some(&m) = self.pairs.get(&(i, j)) {
+                        matches += m;
+                        reused += 1;
+                        continue;
+                    }
+                    let m = run_engine(
+                        self.cfg.engine,
+                        &self.cfg.run,
+                        &self.panes[&i].r,
+                        &self.panes[&j].s,
+                    );
+                    self.engine_runs += 1;
+                    computed += 1;
+                    self.pairs.insert((i, j), m);
+                    matches += m;
+                    if let Some(acc) = self.via_mult.as_mut() {
+                        // Multiplicity is constant across the pane pair
+                        // (g divides len and slide), so the pair corners
+                        // stand in for every tuple pair inside.
+                        let (lo, hi) = (i.min(j), i.max(j));
+                        *acc += m * pair_multiplicity(
+                            self.cfg.spec,
+                            (lo * g) as Ts,
+                            (hi * g + g - 1) as Ts,
+                        );
+                    }
+                }
+            }
+        } else {
+            let r: Vec<Tuple> = self
+                .panes
+                .range(a..b)
+                .flat_map(|(_, p)| p.r.iter().copied())
+                .collect();
+            let s: Vec<Tuple> = self
+                .panes
+                .range(a..b)
+                .flat_map(|(_, p)| p.s.iter().copied())
+                .collect();
+            if !r.is_empty() && !s.is_empty() {
+                matches = run_engine(self.cfg.engine, &self.cfg.run, &r, &s);
+                self.engine_runs += 1;
+            }
+        }
+        // Evict panes (and cached pairs) whose last containing window is
+        // this one: everything strictly before the next window's start.
+        let keep = ((k + 1) * slide) / g;
+        self.panes = self.panes.split_off(&keep);
+        self.pairs.retain(|&(i, j), _| i.min(j) >= keep);
+        self.emit_window(
+            Window {
+                start: start as Ts,
+                len_ms: len as Ts,
+            },
+            matches,
+            inputs_r,
+            inputs_s,
+            wm,
+            t0,
+            computed,
+            reused,
+            on_window,
+        );
+    }
+
+    fn close_session<FW: FnMut(&ClosedWindow)>(
+        &mut self,
+        start: u64,
+        last: u64,
+        wm: u64,
+        on_window: &mut FW,
+    ) {
+        let t0 = Instant::now();
+        let take = |v: &mut Vec<Tuple>| -> Vec<Tuple> {
+            let (inside, outside) = v
+                .drain(..)
+                .partition(|t| (t.ts as u64) >= start && (t.ts as u64) <= last);
+            *v = outside;
+            inside
+        };
+        let r = take(&mut self.pending_r);
+        let s = take(&mut self.pending_s);
+        let matches = if r.is_empty() || s.is_empty() {
+            0
+        } else {
+            self.engine_runs += 1;
+            run_engine(self.cfg.engine, &self.cfg.run, &r, &s)
+        };
+        if let Some(acc) = self.via_mult.as_mut() {
+            // Sessions are disjoint (`pair_multiplicity_in` over realized
+            // session windows is 0/1), so each closed session contributes
+            // its matches exactly once.
+            *acc += matches;
+        }
+        self.emit_window(
+            Window {
+                start: start as Ts,
+                len_ms: (last - start + 1) as Ts,
+            },
+            matches,
+            r.len(),
+            s.len(),
+            wm,
+            t0,
+            0,
+            0,
+            on_window,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_window<FW: FnMut(&ClosedWindow)>(
+        &mut self,
+        window: Window,
+        matches: u64,
+        inputs_r: usize,
+        inputs_s: usize,
+        wm: u64,
+        t0: Instant,
+        computed: usize,
+        reused: usize,
+        on_window: &mut FW,
+    ) {
+        let join_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.close_hist.record_ms(join_wall_ms);
+        self.journal.mark(MARK_STREAM_CLOSE, Instant::now());
+        self.matches += matches;
+        let closed = ClosedWindow {
+            window,
+            matches,
+            inputs_r,
+            inputs_s,
+            watermark_ms: wm,
+            join_wall_ms,
+            pane_pairs_computed: computed,
+            pane_pairs_reused: reused,
+        };
+        on_window(&closed);
+        self.windows.push(closed);
+    }
+
+    /// Drive the operator to completion over two ingress queues, invoking
+    /// `on_window` at each window close and `on_tick` at each metrics
+    /// tick. Returns when both sources have disconnected and all state has
+    /// flushed.
+    pub fn run<FW, FT>(
+        mut self,
+        rx_r: StreamReceiver<Tuple>,
+        rx_s: StreamReceiver<Tuple>,
+        mut on_window: FW,
+        mut on_tick: FT,
+    ) -> StreamReport
+    where
+        FW: FnMut(&ClosedWindow),
+        FT: FnMut(&StreamTick),
+    {
+        let started = Instant::now();
+        let mut last_tick = started;
+        let mut last_tick_ingested = 0u64;
+        let mut last_bp = 0u64;
+        let mut peak_queue = 0usize;
+        let mut ticks: Vec<StreamTick> = Vec::new();
+        loop {
+            let mut got = 0;
+            if !self.done_r {
+                got += self.drain_side(&rx_r, Side::R);
+            }
+            if !self.done_s {
+                got += self.drain_side(&rx_s, Side::S);
+            }
+            if got > 0 {
+                self.journal.mark(MARK_STREAM_INGEST, Instant::now());
+            }
+            peak_queue = peak_queue.max(rx_r.len()).max(rx_s.len());
+            let bp = rx_r.blocked_sends() + rx_s.blocked_sends();
+            if bp > last_bp {
+                self.journal.mark(MARK_STREAM_BACKPRESSURE, Instant::now());
+                last_bp = bp;
+            }
+            self.advance(&mut on_window);
+            let finished = self.done_r && self.done_s;
+            let tick_due = self.cfg.tick_every_ms > 0.0
+                && last_tick.elapsed().as_secs_f64() * 1e3 >= self.cfg.tick_every_ms;
+            if tick_due || finished {
+                let ingested = self.ingested_r + self.ingested_s;
+                let resident = self.resident();
+                self.peak_resident = self.peak_resident.max(resident);
+                let tick = StreamTick {
+                    wall_s: started.elapsed().as_secs_f64(),
+                    watermark_ms: self.watermark().unwrap_or(0),
+                    ingested,
+                    ingested_delta: ingested - last_tick_ingested,
+                    matches: self.matches,
+                    windows_closed: self.windows.len() as u64,
+                    late: self.late,
+                    backpressure_waits: last_bp,
+                    queue_r: rx_r.len(),
+                    queue_s: rx_s.len(),
+                    resident_panes: resident,
+                };
+                on_tick(&tick);
+                ticks.push(tick);
+                last_tick = Instant::now();
+                last_tick_ingested = ingested;
+            }
+            if finished {
+                break;
+            }
+            if got == 0 {
+                // Idle: block briefly on an open side rather than spin.
+                let d = Duration::from_micros(200);
+                let (rx, side) = if !self.done_r {
+                    (&rx_r, Side::R)
+                } else {
+                    (&rx_s, Side::S)
+                };
+                match rx.recv_timeout(d) {
+                    Ok(t) => self.ingest(t, side),
+                    Err(RecvError::Disconnected) => match side {
+                        Side::R => self.done_r = true,
+                        Side::S => self.done_s = true,
+                    },
+                    Err(RecvError::Empty) => {}
+                }
+            }
+        }
+        StreamReport {
+            matches: self.matches,
+            matches_via_multiplicity: self.via_mult,
+            ingested_r: self.ingested_r,
+            ingested_s: self.ingested_s,
+            late_dropped: self.late,
+            backpressure_waits: last_bp,
+            engine_runs: self.engine_runs,
+            peak_resident_panes: self.peak_resident,
+            peak_queue_depth: peak_queue,
+            final_watermark_ms: self.watermark().unwrap_or(0),
+            stream_ms: self.max_seen(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            close_hist: self.close_hist,
+            ticks,
+            windows: self.windows,
+            journal: self.journal,
+        }
+    }
+}
+
+/// Pending-session count: how many realized sessions the pending tuples
+/// currently span (the session-mode resident-state metric).
+fn session_count(r: &[Tuple], s: &[Tuple], gap: u64) -> usize {
+    let mut stamps: Vec<u64> = r.iter().chain(s.iter()).map(|t| t.ts as u64).collect();
+    if stamps.is_empty() {
+        return 0;
+    }
+    stamps.sort_unstable();
+    1 + stamps.windows(2).filter(|w| w[1] - w[0] >= gap).count()
+}
+
+/// One engine invocation over tuples at rest (re-based to ts 0, exactly as
+/// [`execute_windowed`](crate::windowing::execute_windowed) runs a window).
+fn run_engine(engine: Algorithm, run: &RunConfig, r: &[Tuple], s: &[Tuple]) -> u64 {
+    let rebase = |t: &Tuple| Tuple::new(t.key, 0);
+    let ds = Dataset {
+        name: "stream-close".to_string(),
+        r: r.iter().map(rebase).collect(),
+        s: s.iter().map(rebase).collect(),
+        window: Window::of_len(0),
+        rate_r: Rate::Infinite,
+        rate_s: Rate::Infinite,
+    };
+    execute(engine, &ds, run).matches
+}
+
+/// Spawn a pump thread feeding `src` into `tx` until the source ends or
+/// the consumer hangs up; returns the tuple count it sent.
+pub fn spawn_source<S: StreamSource + 'static>(
+    mut src: S,
+    tx: StreamSender<Tuple>,
+) -> JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut sent = 0;
+        while let Some(t) = src.next_tuple() {
+            if tx.send(t).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        sent
+    })
+}
+
+/// Run a full streaming join over two finite in-memory streams: each side
+/// is pushed through a `queue_cap`-bounded ingress queue from its own
+/// producer thread. The workhorse of the differential tests.
+pub fn run_replay(
+    cfg: StreamConfig,
+    r: Vec<Tuple>,
+    s: Vec<Tuple>,
+    queue_cap: usize,
+) -> StreamReport {
+    let (tx_r, rx_r) = stream_channel(queue_cap);
+    let (tx_s, rx_s) = stream_channel(queue_cap);
+    let h_r = spawn_source(iawj_datagen::ReplaySource::new(r), tx_r);
+    let h_s = spawn_source(iawj_datagen::ReplaySource::new(s), tx_s);
+    let report = StreamingJoin::new(cfg).run(rx_r, rx_s, |_| {}, |_| {});
+    let _ = h_r.join();
+    let _ = h_s.join();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowing::{execute_windowed, windows_for};
+    use iawj_common::Rng;
+
+    fn stream(n: usize, keys: u32, span_ms: u32, seed: u64) -> Vec<Tuple> {
+        let mut rng = Rng::new(seed);
+        let mut v: Vec<Tuple> = (0..n)
+            .map(|_| Tuple::new(rng.next_u32() % keys, rng.below(span_ms as u64) as u32))
+            .collect();
+        v.sort_unstable_by_key(|t| t.ts);
+        v
+    }
+
+    fn cfg(spec: WindowSpec) -> StreamConfig {
+        StreamConfig::new(spec, Algorithm::Npj)
+            .run_config(RunConfig::with_threads(1))
+            .tick_every_ms(0.0)
+    }
+
+    fn batch_counts(spec: WindowSpec, r: &[Tuple], s: &[Tuple]) -> Vec<(Window, u64)> {
+        execute_windowed(Algorithm::Npj, r, s, spec, &RunConfig::with_threads(1))
+            .into_iter()
+            .map(|w| (w.window, w.result.matches))
+            .collect()
+    }
+
+    fn stream_counts(report: &StreamReport) -> Vec<(Window, u64)> {
+        report
+            .windows
+            .iter()
+            .map(|w| (w.window, w.matches))
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_stream_equals_batch_oracle() {
+        let r = stream(200, 8, 700, 1);
+        let s = stream(200, 8, 700, 2);
+        let spec = WindowSpec::Tumbling { len_ms: 200 };
+        let report = run_replay(cfg(spec), r.clone(), s.clone(), 32);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s));
+        assert_eq!(report.late_dropped, 0);
+        assert_eq!(report.final_watermark_ms, WM_END);
+        assert_eq!(report.count_marks(MARK_STREAM_CLOSE), report.windows.len());
+        assert!(report.count_marks(MARK_STREAM_INGEST) >= 1);
+    }
+
+    #[test]
+    fn sliding_stream_equals_batch_oracle_with_and_without_sharing() {
+        let r = stream(250, 8, 800, 3);
+        let s = stream(250, 8, 800, 4);
+        let spec = WindowSpec::Sliding {
+            len_ms: 300,
+            slide_ms: 100,
+        };
+        let expect = batch_counts(spec, &r, &s);
+        let shared = run_replay(cfg(spec), r.clone(), s.clone(), 32);
+        let naive = run_replay(cfg(spec).share_panes(false), r.clone(), s.clone(), 32);
+        assert_eq!(stream_counts(&shared), expect);
+        assert_eq!(stream_counts(&naive), expect);
+        // Pane sharing recombination: Σ per-window == Σ M(i,j) × mult.
+        assert_eq!(shared.matches_via_multiplicity, Some(shared.matches));
+        assert_eq!(naive.matches_via_multiplicity, None);
+        // Sharing computes each pane pair once and reuses it.
+        assert!(shared.windows.iter().any(|w| w.pane_pairs_reused > 0));
+        let computed: usize = shared.windows.iter().map(|w| w.pane_pairs_computed).sum();
+        assert_eq!(computed as u64, shared.engine_runs);
+    }
+
+    #[test]
+    fn session_stream_equals_batch_oracle() {
+        // Two bursts separated by silence, like the windowing tests.
+        let mk = |base: u32, seed: u64| -> Vec<Tuple> {
+            let mut v = stream(60, 5, 40, seed);
+            v.iter_mut().for_each(|t| t.ts += base);
+            v
+        };
+        let mut r = mk(0, 5);
+        r.extend(mk(600, 6));
+        let mut s = mk(2, 7);
+        s.extend(mk(602, 8));
+        let spec = WindowSpec::Session { gap_ms: 200 };
+        let report = run_replay(cfg(spec), r.clone(), s.clone(), 16);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s));
+        assert_eq!(report.matches_via_multiplicity, Some(report.matches));
+    }
+
+    #[test]
+    fn bounded_shuffle_within_lateness_drops_nothing() {
+        let r = stream(200, 8, 600, 9);
+        let s = stream(200, 8, 600, 10);
+        let spec = WindowSpec::Sliding {
+            len_ms: 200,
+            slide_ms: 100,
+        };
+        let jr = iawj_datagen::jitter_arrival_order(&r, 50, 21);
+        let js = iawj_datagen::jitter_arrival_order(&s, 50, 22);
+        let report = run_replay(cfg(spec).lateness(50), jr, js, 32);
+        assert_eq!(report.late_dropped, 0);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s));
+    }
+
+    #[test]
+    fn tuples_behind_the_watermark_are_dropped_and_counted() {
+        // In-order run with zero lateness, then inject one stale tuple.
+        let mut r = stream(100, 4, 400, 11);
+        r.push(Tuple::new(1, 0)); // arrives last, 400 ms stale
+        let s = stream(100, 4, 400, 12);
+        let spec = WindowSpec::Tumbling { len_ms: 100 };
+        let report = run_replay(cfg(spec), r, s, 16);
+        assert_eq!(report.late_dropped, 1);
+        assert_eq!(report.count_marks(MARK_STREAM_LATE), 1);
+    }
+
+    #[test]
+    fn panes_are_evicted_after_their_last_window() {
+        // Resident state is bounded by the watermark lag — inter-source
+        // skew plus the panes a window covers — not by stream length. A
+        // single pusher interleaving both sides by timestamp bounds the
+        // skew to the queue capacities, so over 200 panes of stream the
+        // operator must hold only a handful at a time.
+        let r = stream(4000, 8, 20_000, 13);
+        let s = stream(4000, 8, 20_000, 14);
+        let spec = WindowSpec::Sliding {
+            len_ms: 300,
+            slide_ms: 100,
+        };
+        let (tx_r, rx_r) = stream_channel(8);
+        let (tx_s, rx_s) = stream_channel(8);
+        let (rr, ss) = (r, s);
+        let pusher = std::thread::spawn(move || {
+            let (mut i, mut j) = (0, 0);
+            while i < rr.len() || j < ss.len() {
+                let take_r = j >= ss.len() || (i < rr.len() && rr[i].ts <= ss[j].ts);
+                if take_r {
+                    let _ = tx_r.send(rr[i]);
+                    i += 1;
+                } else {
+                    let _ = tx_s.send(ss[j]);
+                    j += 1;
+                }
+            }
+        });
+        let report = StreamingJoin::new(cfg(spec)).run(rx_r, rx_s, |_| {}, |_| {});
+        pusher.join().unwrap();
+        assert!(
+            report.peak_resident_panes <= 40,
+            "resident panes grew with stream length: {} of 200",
+            report.peak_resident_panes
+        );
+        assert_eq!(report.final_watermark_ms, WM_END);
+    }
+
+    #[test]
+    fn empty_streams_flush_the_zero_window() {
+        // `windows_for` realizes one empty window over empty streams for
+        // tumbling/sliding and none for sessions; the flush must agree.
+        let spec = WindowSpec::Tumbling { len_ms: 100 };
+        let report = run_replay(cfg(spec), Vec::new(), Vec::new(), 4);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &[], &[]));
+        let sess = run_replay(
+            cfg(WindowSpec::Session { gap_ms: 50 }),
+            Vec::new(),
+            Vec::new(),
+            4,
+        );
+        assert!(sess.windows.is_empty());
+        assert!(windows_for(WindowSpec::Session { gap_ms: 50 }, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn final_tick_is_always_emitted() {
+        let r = stream(50, 4, 200, 15);
+        let s = stream(50, 4, 200, 16);
+        let report = run_replay(
+            cfg(WindowSpec::Tumbling { len_ms: 100 }).tick_every_ms(1000.0),
+            r,
+            s,
+            16,
+        );
+        assert!(!report.ticks.is_empty());
+        let last = report.ticks.last().unwrap();
+        assert_eq!(last.watermark_ms, WM_END);
+        assert_eq!(last.ingested, report.ingested_r + report.ingested_s);
+    }
+}

@@ -157,10 +157,39 @@ pub fn pair_multiplicity(spec: WindowSpec, ts_a: Ts, ts_b: Ts) -> u64 {
             let k_min = min_start.div_ceil(slide);
             (k_max + 1).saturating_sub(k_min)
         }
-        WindowSpec::Session { .. } => {
-            panic!("session windows are data-dependent; count per window instead")
+        WindowSpec::Session { gap_ms } => {
+            assert!(gap_ms > 0);
+            // Session windows realized from the two stamps alone: they sit
+            // in one session iff they are within a gap of each other, and
+            // sessions never overlap, so the multiplicity is 0 or 1. When
+            // the full stream is in evidence (more stamps may bridge or
+            // split sessions), use [`pair_multiplicity_in`] over
+            // `windows_for`'s realized windows instead.
+            u64::from(hi - lo < gap_ms as u64)
         }
     }
+}
+
+/// Data-aware multiplicity: how many of the *realized* `windows` contain
+/// both timestamps. This is the form [`pair_multiplicity`] cannot compute
+/// from the spec alone for session windows (their extents depend on the
+/// data); the streaming operator uses it for eviction accounting, and the
+/// tests use it to cross-check the closed-form spec answer:
+///
+/// ```
+/// use iawj_core::windowing::{pair_multiplicity_in, windows_for, WindowSpec};
+/// use iawj_common::Tuple;
+///
+/// let r = vec![Tuple::new(1, 0), Tuple::new(1, 5), Tuple::new(1, 40)];
+/// let ws = windows_for(WindowSpec::Session { gap_ms: 20 }, &r, &[]);
+/// assert_eq!(pair_multiplicity_in(&ws, 0, 5), 1);  // same session
+/// assert_eq!(pair_multiplicity_in(&ws, 5, 40), 0); // across the gap
+/// ```
+pub fn pair_multiplicity_in(windows: &[Window], ts_a: Ts, ts_b: Ts) -> u64 {
+    windows
+        .iter()
+        .filter(|w| w.contains(ts_a) && w.contains(ts_b))
+        .count() as u64
 }
 
 /// One window's join outcome.
@@ -395,9 +424,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "data-dependent")]
-    fn session_multiplicity_panics() {
-        let _ = pair_multiplicity(WindowSpec::Session { gap_ms: 10 }, 0, 1);
+    fn session_multiplicity_is_within_gap_membership() {
+        let spec = WindowSpec::Session { gap_ms: 10 };
+        assert_eq!(pair_multiplicity(spec, 0, 1), 1);
+        assert_eq!(pair_multiplicity(spec, 0, 9), 1);
+        assert_eq!(pair_multiplicity(spec, 0, 10), 0, "a full gap splits");
+        assert_eq!(pair_multiplicity(spec, 7, 7), 1);
+        // Agrees with the realized windows of the two stamps alone.
+        for (a, b) in [(0u32, 1u32), (0, 9), (0, 10), (3, 30)] {
+            let stamps = vec![Tuple::new(0, a), Tuple::new(0, b)];
+            let ws = windows_for(spec, &stamps, &[]);
+            assert_eq!(
+                pair_multiplicity(spec, a, b),
+                pair_multiplicity_in(&ws, a, b),
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn realized_multiplicity_agrees_with_spec_for_sliding() {
+        let r = stream(120, 8, 400, 31);
+        let s = stream(120, 8, 400, 32);
+        let spec = WindowSpec::Sliding {
+            len_ms: 150,
+            slide_ms: 50,
+        };
+        let ws = windows_for(spec, &r, &s);
+        for a in r.iter().step_by(7) {
+            for b in s.iter().step_by(7) {
+                assert_eq!(
+                    pair_multiplicity(spec, a.ts, b.ts),
+                    pair_multiplicity_in(&ws, a.ts, b.ts),
+                    "a={} b={}",
+                    a.ts,
+                    b.ts
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,10 +20,12 @@ pub mod dataset;
 pub mod io;
 pub mod keys;
 pub mod micro;
+pub mod source;
 pub mod stats;
 pub mod workloads;
 
 pub use dataset::Dataset;
 pub use micro::MicroSpec;
+pub use source::{jitter_arrival_order, rate_stream, PacedSource, ReplaySource, StreamSource};
 pub use stats::{StreamStats, WorkloadStats};
 pub use workloads::{debs, rovio, stock, ysb};

@@ -1,0 +1,247 @@
+//! Unbounded stream sources for the continuous join service.
+//!
+//! The batch generators in this crate produce finite, timestamp-ordered
+//! `Vec<Tuple>` streams. The streaming operator instead pulls from a
+//! [`StreamSource`]: an iterator-shaped producer a pump thread drains into
+//! an SPSC ingress queue. This module supplies the two compositions every
+//! experiment needs:
+//!
+//! - [`ReplaySource`] — replays a generated stream, optionally looping it
+//!   forever with timestamps shifted by a period per lap (turning any batch
+//!   workload into an unbounded stream) and optionally capped at a tuple
+//!   count.
+//! - [`PacedSource`] — rate-limits an inner source against the wall clock:
+//!   a tuple stamped `ts` is released only once `ts / speedup` stream
+//!   milliseconds of wall time have elapsed. The *rate itself* comes from
+//!   the timestamps, which the batch generators derive from [`Rate`] and
+//!   the [`arrival`](crate::arrival) module.
+//!
+//! [`rate_stream`] builds a finite uniform-arrival stream at a target
+//! [`Rate`] directly, and [`jitter_arrival_order`] produces the
+//! bounded-out-of-order permutations the lateness machinery is tested with.
+
+use iawj_common::{Rate, Rng, Tuple};
+use std::time::{Duration, Instant};
+
+use crate::arrival;
+
+/// A pull-based, possibly unbounded producer of timestamped tuples.
+///
+/// Implementations must yield tuples in timestamp order up to the bounded
+/// out-of-orderness the consumer's `allowed_lateness_ms` tolerates.
+pub trait StreamSource: Send {
+    /// The next tuple, or `None` when the stream ends.
+    fn next_tuple(&mut self) -> Option<Tuple>;
+}
+
+/// Replays a finite stream, optionally looping with a timestamp shift.
+pub struct ReplaySource {
+    tuples: Vec<Tuple>,
+    idx: usize,
+    shift_ms: u32,
+    loop_period_ms: Option<u32>,
+    limit: Option<usize>,
+    sent: usize,
+}
+
+impl ReplaySource {
+    /// Replay `tuples` once, in order.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        ReplaySource {
+            tuples,
+            idx: 0,
+            shift_ms: 0,
+            loop_period_ms: None,
+            limit: None,
+            sent: 0,
+        }
+    }
+
+    /// Loop forever: each lap replays the tuples with timestamps shifted by
+    /// `period_ms` more than the previous lap (`period_ms` must exceed the
+    /// last timestamp to keep the stream ordered).
+    pub fn looped(mut self, period_ms: u32) -> Self {
+        assert!(period_ms > 0, "loop period must be positive");
+        if let Some(last) = self.tuples.last() {
+            assert!(
+                last.ts < period_ms,
+                "loop period {period_ms} must exceed the last timestamp {}",
+                last.ts
+            );
+        }
+        self.loop_period_ms = Some(period_ms);
+        self
+    }
+
+    /// Stop after `n` tuples in total (bounds a looped replay).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+}
+
+impl StreamSource for ReplaySource {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        if self.tuples.is_empty() || Some(self.sent) == self.limit {
+            return None;
+        }
+        if self.idx == self.tuples.len() {
+            let period = self.loop_period_ms?;
+            self.idx = 0;
+            // Saturating: a years-long replay pins at the timestamp ceiling
+            // rather than wrapping backwards.
+            self.shift_ms = self.shift_ms.saturating_add(period);
+        }
+        let t = self.tuples[self.idx];
+        self.idx += 1;
+        self.sent += 1;
+        Some(Tuple::new(t.key, t.ts.saturating_add(self.shift_ms)))
+    }
+}
+
+/// Rate-limits an inner source against the wall clock (see module docs).
+pub struct PacedSource<S> {
+    inner: S,
+    speedup: f64,
+    epoch: Option<Instant>,
+}
+
+impl<S: StreamSource> PacedSource<S> {
+    /// Pace `inner` so that stream time advances `speedup`× faster than
+    /// wall time (1.0 = real time).
+    pub fn new(inner: S, speedup: f64) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        PacedSource {
+            inner,
+            speedup,
+            epoch: None,
+        }
+    }
+}
+
+impl<S: StreamSource> StreamSource for PacedSource<S> {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.inner.next_tuple()?;
+        let epoch = *self.epoch.get_or_insert_with(Instant::now);
+        let due_wall_ms = t.ts as f64 / self.speedup;
+        loop {
+            let elapsed_ms = epoch.elapsed().as_secs_f64() * 1e3;
+            if elapsed_ms >= due_wall_ms {
+                return Some(t);
+            }
+            let remaining_ms = due_wall_ms - elapsed_ms;
+            if remaining_ms > 0.2 {
+                std::thread::sleep(Duration::from_secs_f64((remaining_ms - 0.1) / 1e3));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A finite uniform-arrival stream at `rate` over `duration_ms`, keys drawn
+/// uniformly from `[0, key_domain)`.
+pub fn rate_stream(rate: Rate, duration_ms: u32, key_domain: u32, seed: u64) -> Vec<Tuple> {
+    assert!(key_domain > 0);
+    let n = match rate.tuples_over(duration_ms as u64) {
+        Some(n) => n,
+        None => panic!("rate_stream needs a finite rate"),
+    };
+    let ts = arrival::uniform(n, duration_ms);
+    let mut rng = Rng::new(seed);
+    ts.into_iter()
+        .map(|t| Tuple::new(rng.next_u32() % key_domain, t))
+        .collect()
+}
+
+/// A bounded shuffle of a timestamp-ordered stream: tuples are reordered by
+/// sorting on `ts + jitter` with jitter uniform in `[0, max_lateness_ms]`.
+///
+/// The resulting arrival order satisfies the bounded-out-of-orderness
+/// contract: when a tuple arrives, every earlier arrival has `ts' <= ts +
+/// max_lateness_ms`, so a watermark holding `max_lateness_ms` behind the
+/// maximum seen timestamp never declares it late.
+pub fn jitter_arrival_order(tuples: &[Tuple], max_lateness_ms: u32, seed: u64) -> Vec<Tuple> {
+    let mut rng = Rng::new(seed);
+    let mut keyed: Vec<(u64, Tuple)> = tuples
+        .iter()
+        .map(|&t| (t.ts as u64 + rng.below(max_lateness_ms as u64 + 1), t))
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    keyed.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut src: impl StreamSource) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = src.next_tuple() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn replay_preserves_order_and_content() {
+        let tuples = vec![Tuple::new(1, 0), Tuple::new(2, 5), Tuple::new(3, 9)];
+        assert_eq!(drain(ReplaySource::new(tuples.clone())), tuples);
+        assert!(drain(ReplaySource::new(Vec::new())).is_empty());
+    }
+
+    #[test]
+    fn looped_replay_shifts_timestamps_per_lap() {
+        let tuples = vec![Tuple::new(1, 0), Tuple::new(2, 5)];
+        let out = drain(ReplaySource::new(tuples).looped(10).limit(5));
+        let ts: Vec<u32> = out.iter().map(|t| t.ts).collect();
+        assert_eq!(ts, vec![0, 5, 10, 15, 20]);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn looped_replay_rejects_short_period() {
+        let _ = ReplaySource::new(vec![Tuple::new(1, 10)]).looped(10);
+    }
+
+    #[test]
+    fn rate_stream_hits_target_count_and_span() {
+        let s = rate_stream(Rate::PerMs(10.0), 100, 32, 7);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|t| t.ts < 100 && t.key < 32));
+        assert!(s.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_a_permutation() {
+        let s = rate_stream(Rate::PerMs(5.0), 200, 16, 3);
+        let j = jitter_arrival_order(&s, 50, 11);
+        assert_eq!(j.len(), s.len());
+        // Same multiset of tuples.
+        let mut a: Vec<_> = s.iter().map(|t| (t.ts, t.key)).collect();
+        let mut b: Vec<_> = j.iter().map(|t| (t.ts, t.key)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Bounded out-of-orderness: nothing precedes a tuple more than the
+        // lateness bound newer than it.
+        let mut max_seen = 0u32;
+        for t in &j {
+            assert!(t.ts + 50 >= max_seen, "tuple {t:?} beyond bound");
+            max_seen = max_seen.max(t.ts);
+        }
+        // Zero jitter is the identity.
+        assert_eq!(jitter_arrival_order(&s, 0, 11), s);
+    }
+
+    #[test]
+    fn paced_source_releases_on_schedule() {
+        // 3 tuples over 30 stream-ms at 10x => ~3 ms wall minimum.
+        let tuples = vec![Tuple::new(1, 0), Tuple::new(1, 15), Tuple::new(1, 30)];
+        let start = Instant::now();
+        let out = drain(PacedSource::new(ReplaySource::new(tuples.clone()), 10.0));
+        assert_eq!(out, tuples);
+        assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+}

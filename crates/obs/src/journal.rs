@@ -22,6 +22,23 @@ pub const MARK_LATCH_WAIT: &str = "latch:wait";
 /// between the head load and the compare-exchange.
 pub const MARK_CAS_RETRY: &str = "cas:retry";
 
+/// Journal mark recorded once per non-empty ingest batch drained from the
+/// streaming operator's SPSC ingress queues.
+pub const MARK_STREAM_INGEST: &str = "stream:ingest";
+
+/// Journal mark recorded once per window closed by the streaming operator
+/// (watermark passed the window end, engine run complete, state evicted).
+pub const MARK_STREAM_CLOSE: &str = "stream:close";
+
+/// Journal mark recorded once per late tuple dropped by the streaming
+/// operator: the tuple's timestamp was already behind the watermark.
+pub const MARK_STREAM_LATE: &str = "stream:late";
+
+/// Journal mark recorded when the streaming operator observes that a
+/// producer had to block on a full ingress queue since the last poll
+/// (the backpressure signal; episodes are counted at the queue).
+pub const MARK_STREAM_BACKPRESSURE: &str = "stream:backpressure";
+
 /// One closed interval of work attributed to a named phase or activity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {

@@ -27,6 +27,8 @@
 //!   schema: the repo's machine-readable perf trajectory.
 //! - [`diff`] — snapshot comparison with regression thresholds, backing
 //!   the `iawj bench-diff` subcommand.
+//! - [`stream`] — the per-interval metrics tick emitted by the continuous
+//!   streaming join service (`iawj serve`).
 //!
 //! This crate is deliberately dependency-free (it sits below `iawj-common`
 //! so the match sink can embed a histogram).
@@ -39,11 +41,16 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod snapshot;
+pub mod stream;
 
 pub use chrome::chrome_trace;
 pub use diff::{diff, DiffReport, DiffThresholds, RunDiff, Verdict};
 pub use hist::LogHistogram;
-pub use journal::{Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_LATCH_WAIT};
+pub use journal::{
+    Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_LATCH_WAIT, MARK_STREAM_BACKPRESSURE,
+    MARK_STREAM_CLOSE, MARK_STREAM_INGEST, MARK_STREAM_LATE,
+};
 pub use perf::{CounterDelta, CounterSource, PerfError, PerfSampler, COUNTER_NAMES, N_COUNTERS};
 pub use report::{breakdown_table, PhaseRow};
 pub use snapshot::{BenchSnapshot, CachesimPerTuple, PhaseSnapshot, RunSnapshot, SCHEMA_VERSION};
+pub use stream::StreamTick;

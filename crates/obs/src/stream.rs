@@ -1,0 +1,160 @@
+//! Periodic metrics for the continuous streaming join service.
+//!
+//! The streaming operator emits one [`StreamTick`] per reporting interval
+//! (wall-clock, default one second): cumulative ingest/match/late/
+//! backpressure counters, the current watermark, instantaneous queue depths
+//! and resident pane count, and the ingest delta since the previous tick.
+//! Ticks render either as a human-readable dashboard line ([`StreamTick::
+//! to_text`]) or as one `{"type":"stream",...}` metrics-JSONL line
+//! ([`StreamTick::to_jsonl`]) alongside the CLI's existing `summary` /
+//! `clock` / `phase` line types.
+
+use crate::json::write_f64;
+use std::fmt::Write as _;
+
+/// One periodic snapshot of a running streaming join.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamTick {
+    /// Wall-clock seconds since the operator started.
+    pub wall_s: f64,
+    /// Current watermark in stream milliseconds. `u64::MAX` encodes the
+    /// end-of-stream watermark (both sources exhausted → +∞), rendered as
+    /// `null` in JSONL.
+    pub watermark_ms: u64,
+    /// Cumulative tuples ingested across both sides (late drops included).
+    pub ingested: u64,
+    /// Tuples ingested since the previous tick.
+    pub ingested_delta: u64,
+    /// Cumulative matches across all closed windows.
+    pub matches: u64,
+    /// Cumulative windows closed.
+    pub windows_closed: u64,
+    /// Cumulative late tuples dropped.
+    pub late: u64,
+    /// Cumulative producer blocking episodes (backpressure) observed.
+    pub backpressure_waits: u64,
+    /// Current depth of the R-side ingress queue.
+    pub queue_r: usize,
+    /// Current depth of the S-side ingress queue.
+    pub queue_s: usize,
+    /// Panes (or pending session tuples' sessions) currently resident.
+    pub resident_panes: usize,
+}
+
+impl StreamTick {
+    /// Tuples per wall second since the previous tick, given the interval.
+    pub fn rate_per_s(&self, interval_s: f64) -> f64 {
+        if interval_s > 0.0 {
+            self.ingested_delta as f64 / interval_s
+        } else {
+            0.0
+        }
+    }
+
+    /// One metrics-JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::from("{\"type\":\"stream\",\"wall_s\":");
+        write_f64(&mut out, self.wall_s);
+        out.push_str(",\"watermark_ms\":");
+        if self.watermark_ms == u64::MAX {
+            out.push_str("null");
+        } else {
+            let _ = write!(out, "{}", self.watermark_ms);
+        }
+        let _ = write!(
+            out,
+            ",\"ingested\":{},\"ingested_delta\":{},\"matches\":{},\
+             \"windows_closed\":{},\"late\":{},\"backpressure_waits\":{},\
+             \"queue_r\":{},\"queue_s\":{},\"resident_panes\":{}}}",
+            self.ingested,
+            self.ingested_delta,
+            self.matches,
+            self.windows_closed,
+            self.late,
+            self.backpressure_waits,
+            self.queue_r,
+            self.queue_s,
+            self.resident_panes,
+        );
+        out
+    }
+
+    /// One human-readable dashboard line.
+    pub fn to_text(&self) -> String {
+        let wm = if self.watermark_ms == u64::MAX {
+            "end".to_string()
+        } else {
+            format!("{}ms", self.watermark_ms)
+        };
+        format!(
+            "[{:7.2}s] wm={:>8} in={:>9} (+{:>7}) matches={:>10} windows={:>5} \
+             late={:>4} bp={:>4} q=({},{}) panes={}",
+            self.wall_s,
+            wm,
+            self.ingested,
+            self.ingested_delta,
+            self.matches,
+            self.windows_closed,
+            self.late,
+            self.backpressure_waits,
+            self.queue_r,
+            self.queue_s,
+            self.resident_panes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn tick() -> StreamTick {
+        StreamTick {
+            wall_s: 1.5,
+            watermark_ms: 1200,
+            ingested: 3000,
+            ingested_delta: 1000,
+            matches: 450,
+            windows_closed: 4,
+            late: 2,
+            backpressure_waits: 7,
+            queue_r: 3,
+            queue_s: 0,
+            resident_panes: 5,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = tick();
+        let v = Json::parse(&t.to_jsonl()).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("stream"));
+        assert_eq!(v.get("watermark_ms").and_then(Json::as_u64), Some(1200));
+        assert_eq!(v.get("ingested").and_then(Json::as_u64), Some(3000));
+        assert_eq!(v.get("ingested_delta").and_then(Json::as_u64), Some(1000));
+        assert_eq!(v.get("matches").and_then(Json::as_u64), Some(450));
+        assert_eq!(v.get("windows_closed").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("late").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("backpressure_waits").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("queue_r").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("resident_panes").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn end_of_stream_watermark_is_null() {
+        let t = StreamTick {
+            watermark_ms: u64::MAX,
+            ..tick()
+        };
+        let v = Json::parse(&t.to_jsonl()).unwrap();
+        assert_eq!(v.get("watermark_ms"), Some(&Json::Null));
+        assert!(t.to_text().contains("wm=     end"));
+    }
+
+    #[test]
+    fn rate_uses_delta() {
+        assert_eq!(tick().rate_per_s(0.5), 2000.0);
+        assert_eq!(tick().rate_per_s(0.0), 0.0);
+    }
+}

@@ -1,17 +1,22 @@
-//! Continuous operation: the intra-window join as a building block for
-//! tumbling- and session-windowed analytics (§2 of the paper notes IaWJ
-//! composes under any window type; `iawj_core::windowing` provides that
-//! layer).
+//! Continuous operation: the intra-window join deployed as a long-running
+//! service (§2 of the paper notes IaWJ composes under any window type;
+//! `iawj_core::streaming` provides that layer as an operator).
 //!
 //! The scenario: a clickstream (R) joined with a purchase stream (S) per
-//! user, reported per 250 ms tumbling window and again per activity
-//! session.
+//! user. Both streams are paced against the wall clock and pushed through
+//! bounded ingress queues into a [`StreamingJoin`]; the operator closes
+//! 250 ms tumbling windows as the watermark advances, printing a dashboard
+//! line per window and a metrics tick four times a second. A second pass
+//! re-runs the same streams under session windows.
 //!
 //! Run with: `cargo run --release --example continuous_dashboard`
 
+use iawj_study::common::spsc::stream_channel;
 use iawj_study::common::{Rng, Tuple};
-use iawj_study::core::windowing::{execute_windowed, WindowSpec};
+use iawj_study::core::streaming::{spawn_source, StreamConfig, StreamingJoin};
+use iawj_study::core::windowing::WindowSpec;
 use iawj_study::core::{Algorithm, RunConfig};
+use iawj_study::datagen::{PacedSource, ReplaySource};
 
 /// Two bursts of activity with a quiet gap — realistic session structure.
 fn bursty_stream(seed: u64, users: u32) -> Vec<Tuple> {
@@ -27,53 +32,73 @@ fn bursty_stream(seed: u64, users: u32) -> Vec<Tuple> {
     out
 }
 
+/// Pace both streams at `speedup`× real time through capacity-bounded
+/// queues and run the operator, printing windows and ticks as they happen.
+fn serve(label: &str, cfg: StreamConfig, clicks: &[Tuple], purchases: &[Tuple], speedup: f64) {
+    println!("{label}");
+    let (tx_r, rx_r) = stream_channel(512);
+    let (tx_s, rx_s) = stream_channel(512);
+    let h_r = spawn_source(
+        PacedSource::new(ReplaySource::new(clicks.to_vec()), speedup),
+        tx_r,
+    );
+    let h_s = spawn_source(
+        PacedSource::new(ReplaySource::new(purchases.to_vec()), speedup),
+        tx_s,
+    );
+    let report = StreamingJoin::new(cfg).run(
+        rx_r,
+        rx_s,
+        |w| {
+            if w.inputs_r + w.inputs_s > 0 {
+                println!(
+                    "  [{:>4}..{:>4}) ms: {:>5} inputs -> {:>8} matches{}",
+                    w.window.start,
+                    w.window.end(),
+                    w.inputs_r + w.inputs_s,
+                    w.matches,
+                    if w.flushed_at_end() { "  (flush)" } else { "" }
+                );
+            }
+        },
+        |t| println!("  {}", t.to_text()),
+    );
+    let _ = h_r.join();
+    let _ = h_s.join();
+    println!(
+        "  done: {} windows, {} matches, {:.1} t/ms ingest, {} backpressure waits, peak queue {}\n",
+        report.windows.len(),
+        report.matches,
+        report.throughput_tpms(),
+        report.backpressure_waits,
+        report.peak_queue_depth,
+    );
+}
+
 fn main() {
     let clicks = bursty_stream(1, 500);
     let purchases = bursty_stream(2, 500);
-    let cfg = RunConfig::with_threads(4);
+    // 2200 stream-ms at 4x => ~550 ms wall per pass: long enough to watch
+    // windows close live, short enough for an example.
+    let speedup = 4.0;
 
-    println!("tumbling 250 ms windows (PRJ per window):");
-    let windows = execute_windowed(
-        Algorithm::Prj,
+    serve(
+        "tumbling 250 ms windows (PRJ per window, watermark-driven):",
+        StreamConfig::new(WindowSpec::Tumbling { len_ms: 250 }, Algorithm::Prj)
+            .run_config(RunConfig::with_threads(4))
+            .tick_every_ms(250.0),
         &clicks,
         &purchases,
-        WindowSpec::Tumbling { len_ms: 250 },
-        &cfg,
+        speedup,
     );
-    for w in &windows {
-        if w.result.total_inputs == 0 {
-            continue;
-        }
-        println!(
-            "  [{:>4}..{:>4}) ms: {:>6} inputs -> {:>8} matches",
-            w.window.start,
-            w.window.end(),
-            w.result.total_inputs,
-            w.result.matches
-        );
-    }
 
-    println!("\nsession windows (gap >= 300 ms closes a session):");
-    let sessions = execute_windowed(
-        Algorithm::MPass,
+    serve(
+        "session windows (gap >= 300 ms closes a session, MPass per session):",
+        StreamConfig::new(WindowSpec::Session { gap_ms: 300 }, Algorithm::MPass)
+            .run_config(RunConfig::with_threads(4))
+            .tick_every_ms(250.0),
         &clicks,
         &purchases,
-        WindowSpec::Session { gap_ms: 300 },
-        &cfg,
-    );
-    for (i, w) in sessions.iter().enumerate() {
-        println!(
-            "  session {}: [{}..{}) ms, {} inputs, {} matches",
-            i + 1,
-            w.window.start,
-            w.window.end(),
-            w.result.total_inputs,
-            w.result.matches
-        );
-    }
-    assert_eq!(
-        sessions.len(),
-        2,
-        "the quiet gap must split the data into two sessions"
+        speedup,
     );
 }

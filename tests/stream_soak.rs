@@ -1,0 +1,114 @@
+//! Sustained-ingest soak: several wall-seconds of rate-limited streaming
+//! through deliberately small ingress queues. Locks down the service
+//! properties a short unit test can't see:
+//!
+//! - backpressure actually engages (the producer observably blocks while
+//!   the operator is busy closing windows) and is journaled,
+//! - the watermark only ever advances across metrics ticks,
+//! - resident pane state stays bounded by the watermark lag — a fixed
+//!   handful of panes — not by the length of the stream.
+//!
+//! CI runs this in release under the `stream-soak` job with a hard
+//! timeout; it also passes (slower) in a debug `cargo test`.
+
+use iawj_study::common::spsc::stream_channel;
+use iawj_study::common::{Rate, Tuple};
+use iawj_study::core::streaming::{StreamConfig, StreamingJoin, WM_END};
+use iawj_study::core::windowing::{windows_for, WindowSpec};
+use iawj_study::core::{Algorithm, RunConfig};
+use iawj_study::datagen::rate_stream;
+use iawj_study::obs::MARK_STREAM_BACKPRESSURE;
+use std::time::{Duration, Instant};
+
+/// Pump both sides from one thread, interleaved by timestamp and paced
+/// against the wall clock at `speedup`× real time. A single pacing
+/// schedule keeps inter-source skew bounded by the queue capacities, so
+/// the resident-pane assertion below tests the operator, not the OS
+/// scheduler; blocking `send` makes the pump fall behind schedule (and
+/// catch up) whenever the operator is busy — that is the backpressure
+/// under test.
+fn pump_interleaved(
+    r: Vec<Tuple>,
+    s: Vec<Tuple>,
+    tx_r: iawj_study::common::spsc::StreamSender<Tuple>,
+    tx_s: iawj_study::common::spsc::StreamSender<Tuple>,
+    speedup: f64,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let epoch = Instant::now();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < r.len() || j < s.len() {
+            let take_r = j == s.len() || (i < r.len() && r[i].ts <= s[j].ts);
+            let t = if take_r { r[i] } else { s[j] };
+            let due_ms = t.ts as f64 / speedup;
+            let elapsed = epoch.elapsed().as_secs_f64() * 1e3;
+            if elapsed < due_ms {
+                std::thread::sleep(Duration::from_secs_f64((due_ms - elapsed) / 1e3));
+            }
+            let sent = if take_r {
+                i += 1;
+                tx_r.send(t)
+            } else {
+                j += 1;
+                tx_s.send(t)
+            };
+            if sent.is_err() {
+                return;
+            }
+        }
+    })
+}
+
+#[test]
+fn sustained_ingest_backpressures_and_bounds_state() {
+    // ~64k tuples/side over 16 s of stream time, replayed at 4x => ~4 s of
+    // wall-clock rate-limited ingest. 500 ms tumbling windows: 32 closes,
+    // each a real engine run the pump must wait out through cap-8 queues.
+    let span_ms = 16_000;
+    let spec = WindowSpec::Tumbling { len_ms: 500 };
+    let r = rate_stream(Rate::PerMs(4.0), span_ms, 512, 101);
+    let s = rate_stream(Rate::PerMs(4.0), span_ms, 512, 202);
+    let expected_windows = windows_for(spec, &r, &s).len();
+    let (nr, ns) = (r.len() as u64, s.len() as u64);
+
+    let cfg = StreamConfig::new(spec, Algorithm::Npj)
+        .run_config(RunConfig::with_threads(2))
+        .tick_every_ms(100.0);
+    let (tx_r, rx_r) = stream_channel(8);
+    let (tx_s, rx_s) = stream_channel(8);
+    let pump = pump_interleaved(r, s, tx_r, tx_s, 4.0);
+    let report = StreamingJoin::new(cfg).run(rx_r, rx_s, |_| {}, |_| {});
+    pump.join().unwrap();
+
+    // Nothing lost: rate limiting + blocking backpressure never drop.
+    assert_eq!(report.ingested_r, nr);
+    assert_eq!(report.ingested_s, ns);
+    assert_eq!(report.late_dropped, 0);
+    assert_eq!(report.windows.len(), expected_windows);
+    assert_eq!(report.final_watermark_ms, WM_END);
+
+    // Backpressure engaged and was journaled.
+    assert!(
+        report.backpressure_waits >= 1,
+        "expected the pump to block at least once (waits = {})",
+        report.backpressure_waits
+    );
+    assert!(report.count_marks(MARK_STREAM_BACKPRESSURE) >= 1);
+
+    // The watermark is monotone across every metrics tick.
+    assert!(report.ticks.len() >= 2, "soak must span several ticks");
+    let wms: Vec<u64> = report.ticks.iter().map(|t| t.watermark_ms).collect();
+    assert!(
+        wms.windows(2).all(|w| w[0] <= w[1]),
+        "watermark regressed: {wms:?}"
+    );
+
+    // Resident state is bounded by the watermark lag (queue capacity +
+    // ingest batch + one open window), not by the 32-window stream.
+    assert!(
+        report.peak_resident_panes <= 6,
+        "pane state grew with the stream: peak {} of {} windows",
+        report.peak_resident_panes,
+        expected_windows
+    );
+}
