@@ -1,17 +1,24 @@
-//! Figure 21: impact of the SIMD sort backend — per-phase cycles per input
-//! tuple of the sort-based algorithms with the vectorizable backend vs the
-//! scalar one (the paper's with/without-AVX switch).
+//! Figure 21: impact of the batched SIMD kernels — per-phase cycles per
+//! input tuple of every studied algorithm with `--kernel simd` (8-wide
+//! batched hashing, prefetched probe pipelines, AVX2 sort networks) vs
+//! `--kernel scalar` (the per-tuple reference paths). The sort-based
+//! engines isolate the vectorized sort (the paper's with/without-AVX
+//! switch); NPJ and PRJ isolate the batched hash + prefetch pipelines.
+//!
+//! Emits `BENCH_fig21.json` so `iawj bench-diff` can hold the scalar/simd
+//! gap across commits; the committed baseline asserts simd wins the sort
+//! phase by ≥ 1.15× on x86_64.
 
-use iawj_bench::{banner, fmt, print_table, BenchEnv};
-use iawj_common::Phase;
+use iawj_bench::{banner, fmt, print_table, BenchEnv, SnapshotWriter};
+use iawj_common::{KernelBackend, Phase};
 use iawj_core::{execute, Algorithm};
 use iawj_datagen::MicroSpec;
-use iawj_exec::{cpu_clock, SortBackend};
+use iawj_exec::cpu_clock;
 
 fn main() {
     let env = BenchEnv::from_env();
     banner(
-        "Figure 21 — SIMD on/off for the sort-based algorithms (static Micro)",
+        "Figure 21 — scalar vs simd kernels, all studied algorithms (static Micro)",
         &env,
     );
     let clock = cpu_clock();
@@ -22,19 +29,26 @@ fn main() {
     );
     let n = (512_000.0 * env.scale * 10.0).max(20_000.0) as usize;
     let ds = MicroSpec::static_counts(n, n).dupe(4).seed(42).generate();
+    let mut snap = SnapshotWriter::new("fig21", &env);
     let mut rows = Vec::new();
-    for algo in [
-        Algorithm::MWay,
-        Algorithm::MPass,
-        Algorithm::PmjJm,
-        Algorithm::PmjJb,
-    ] {
-        for backend in [SortBackend::Vectorized, SortBackend::Scalar] {
-            let cfg = env.config().sort(backend);
+    // Sort-phase ns per kernel, summed over the sort-based engines, for the
+    // headline speedup line.
+    let mut sort_ns = [0u64; 2];
+    for algo in Algorithm::STUDIED {
+        for kernel in [KernelBackend::Simd, KernelBackend::Scalar] {
+            let cfg = env.config().kernel(kernel);
             let res = execute(algo, &ds, &cfg);
+            snap.record("Micro", &cfg, &res);
             let per = 1.0 / res.total_inputs.max(1) as f64;
+            if matches!(
+                algo,
+                Algorithm::MWay | Algorithm::MPass | Algorithm::PmjJm | Algorithm::PmjJb
+            ) {
+                sort_ns[kernel.is_simd() as usize] += res.breakdown[Phase::BuildSort];
+            }
             rows.push(vec![
-                format!("{}({})", algo.name(), backend.label()),
+                format!("{}({})", algo.name(), kernel.label()),
+                fmt(res.breakdown.cycles(Phase::Partition, clock.ghz) * per),
                 fmt(res.breakdown.cycles(Phase::BuildSort, clock.ghz) * per),
                 fmt(res.breakdown.cycles(Phase::Merge, clock.ghz) * per),
                 fmt(res.breakdown.cycles(Phase::Probe, clock.ghz) * per),
@@ -42,5 +56,15 @@ fn main() {
             ]);
         }
     }
-    print_table(&["config", "sort", "merge", "join", "total"], &rows);
+    print_table(
+        &["config", "part", "build/sort", "merge", "join", "total"],
+        &rows,
+    );
+    if sort_ns[1] > 0 {
+        println!(
+            "\nsort-phase speedup (scalar/simd, all engines): {:.2}x",
+            sort_ns[0] as f64 / sort_ns[1] as f64
+        );
+    }
+    snap.write();
 }

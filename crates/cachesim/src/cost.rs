@@ -102,6 +102,7 @@ mod tests {
             l2_misses: l2,
             l3_misses: l3,
             dtlb_misses: tlb,
+            prefetches: 0,
         }
     }
 

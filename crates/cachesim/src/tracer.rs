@@ -14,6 +14,12 @@ pub trait Tracer {
     /// caches treat this identically to a read for residency purposes.
     fn write(&mut self, addr: usize, len: usize);
 
+    /// The kernel issued an explicit software prefetch of the line at
+    /// `addr`. Default is a no-op so existing tracers stay source
+    /// compatible; the cache-backed tracer stages the line.
+    #[inline]
+    fn prefetch(&mut self, _addr: usize) {}
+
     /// Is this tracer live? Kernels may skip address computations entirely
     /// when it is not.
     #[inline]
@@ -49,6 +55,11 @@ impl Tracer for CoreCaches {
     fn write(&mut self, addr: usize, len: usize) {
         self.access_range(addr as u64, len as u64);
     }
+
+    #[inline]
+    fn prefetch(&mut self, addr: usize) {
+        self.prefetch_line(addr as u64);
+    }
 }
 
 /// Blanket impl so `&mut T` works where a tracer is taken by value.
@@ -61,6 +72,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline(always)]
     fn write(&mut self, addr: usize, len: usize) {
         (**self).write(addr, len);
+    }
+
+    #[inline(always)]
+    fn prefetch(&mut self, addr: usize) {
+        (**self).prefetch(addr);
     }
 
     #[inline(always)]
@@ -92,6 +108,20 @@ mod tests {
             t.write(64, 64);
         }
         assert_eq!(core.counters().accesses, 2);
+    }
+
+    #[test]
+    fn prefetch_forwards_and_stages() {
+        let mut core = CoreCaches::new(shared_l3_default());
+        {
+            let t: &mut dyn Tracer = &mut core;
+            t.prefetch(0);
+        }
+        let c = core.counters();
+        assert_eq!(c.prefetches, 1);
+        assert_eq!(c.accesses, 0);
+        // NoopTracer's default impl compiles and does nothing.
+        NoopTracer.prefetch(0);
     }
 
     #[test]

@@ -91,6 +91,9 @@ RUN OPTIONS (run, sweep, trace):
   --morsel-size N    steal-mode morsel size in tuples (default 1024, must be >0)
   --scatter MODE     PRJ scatter path: direct|swwc (default direct)
   --npj-table MODE   NPJ shared table: latch|lockfree (default latch)
+  --kernel MODE      hot-loop kernels: scalar|simd (default simd; simd batches
+                     hashing 8 keys wide and software-prefetches bucket heads)
+  --prefetch-dist N  simd probe/build prefetch lookahead in tuples (default 8)
   --json             machine-readable output
   --perf             sample hardware counters per phase (perf_event; falls
                      back silently where unavailable)
@@ -222,7 +225,7 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
     let ds = build_dataset(args)?;
     let cfg = build_config(args)?;
     let result = execute(algo, &ds, &cfg);
-    let summary = RunSummary::from_result(&result);
+    let summary = RunSummary::from_result(&result).with_kernel(cfg.kernel.backend.label());
     let save = |key: &'static str, content: String| -> Result<(), ArgError> {
         if let Some(path) = args.get(key) {
             std::fs::write(path, content).map_err(|e| ArgError::Invalid {
@@ -293,7 +296,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
         // Rebuild the workload with the swept parameter overridden.
         let ds = build_dataset_with_override(args, &param, v)?;
         let result = execute(algo, &ds, &cfg);
-        let summary = RunSummary::from_result(&result);
+        let summary = RunSummary::from_result(&result).with_kernel(cfg.kernel.backend.label());
         out.push_str(&format!(
             "{v:>10}  {:>12.1}  {:>12}  {:>10}\n",
             summary.throughput_tpms,
@@ -551,6 +554,38 @@ mod tests {
     }
 
     #[test]
+    fn serve_rejects_nonpositive_speedup() {
+        for bad in ["0", "-1", "NaN", "inf"] {
+            let err = run_cli_str(&["serve", "--algo", "NPJ", "--speedup", bad]).unwrap_err();
+            assert!(err.contains("speedup"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_nonpositive_tick_ms() {
+        for bad in ["0", "-5", "NaN"] {
+            let err = run_cli_str(&["serve", "--algo", "NPJ", "--tick-ms", bad]).unwrap_err();
+            assert!(err.contains("tick-ms"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_nonpositive_rate_r() {
+        for bad in ["0", "-100", "NaN"] {
+            let err = run_cli_str(&["serve", "--algo", "NPJ", "--rate-r", bad]).unwrap_err();
+            assert!(err.contains("rate-r"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_nonpositive_rate_s() {
+        for bad in ["0", "-0.5", "NaN"] {
+            let err = run_cli_str(&["serve", "--algo", "NPJ", "--rate-s", bad]).unwrap_err();
+            assert!(err.contains("rate-s"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
     fn unknown_npj_table_mode_is_rejected() {
         let err = run_cli_str(&[
             "run",
@@ -800,6 +835,7 @@ mod tests {
                 scheduler: "static".into(),
                 scatter: "direct".into(),
                 npj_table: "latch".into(),
+                kernel: "simd".into(),
                 throughput_tpms: tpt,
                 latency_p99_ms: Some(p99),
                 latency_max_ms: Some(p99 * 2.0),

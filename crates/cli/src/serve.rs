@@ -56,6 +56,21 @@ pub const SERVE_OPTS: &[&str] = &[
     "no-share",
 ];
 
+/// Reject non-finite, zero, or negative values for rates and pacing knobs:
+/// a NaN or ≤0 speedup stalls the paced sources forever, a ≤0 tick never
+/// fires, and ≤0 ingest rates generate nothing while claiming a duration.
+fn require_positive_finite(key: &'static str, value: f64) -> Result<f64, ArgError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ArgError::Invalid {
+            key: key.into(),
+            value: format!("{value}"),
+            expected: "a finite value > 0",
+        })
+    }
+}
+
 /// Run the service and render its report.
 pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let algo = parse_algorithm(args)?;
@@ -63,8 +78,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let duration_ms: u32 = args.get_or("duration-ms", 3000)?;
     let lateness: u32 = args.get_or("lateness", 0)?;
     let queue_cap: usize = args.get_or("queue-cap", 1024)?;
-    let speedup: f64 = args.get_or("speedup", 25.0)?;
-    let tick_ms: f64 = args.get_or("tick-ms", 250.0)?;
+    let speedup = require_positive_finite("speedup", args.get_or("speedup", 25.0)?)?;
+    let tick_ms = require_positive_finite("tick-ms", args.get_or("tick-ms", 250.0)?)?;
+    let rate_r = require_positive_finite("rate-r", args.get_or("rate-r", 100.0)?)?;
+    let rate_s = require_positive_finite("rate-s", args.get_or("rate-s", 100.0)?)?;
     let threads: usize = args.get_or("threads", 2)?;
     if duration_ms == 0 {
         return Err(ArgError::Invalid {
@@ -83,8 +100,8 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     // A Micro workload spanning the whole serve duration: the generator's
     // window is the stream, and its rates set the ingest rates.
     let micro = MicroSpec {
-        rate_r: args.get_or("rate-r", 100.0)?,
-        rate_s: args.get_or("rate-s", 100.0)?,
+        rate_r,
+        rate_s,
         window_ms: duration_ms,
         dupe: args.get_or("dupe", 1usize)?.max(1),
         skew_key: args.get_or("skew-key", 0.0)?,

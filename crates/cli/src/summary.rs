@@ -19,6 +19,8 @@ use iawj_obs::{breakdown_table, PhaseRow};
 pub struct RunSummary {
     /// Algorithm name.
     pub algorithm: String,
+    /// Hot-loop kernel backend label (`"scalar"` or `"simd"`).
+    pub kernel: String,
     /// Worker threads used.
     pub threads: usize,
     /// Total input tuples.
@@ -89,6 +91,7 @@ impl RunSummary {
         let clock = cpu_clock();
         RunSummary {
             algorithm: r.algorithm.name().to_string(),
+            kernel: iawj_common::KernelBackend::default().label().to_string(),
             threads: r.threads,
             total_inputs: r.total_inputs,
             matches: r.matches,
@@ -112,6 +115,13 @@ impl RunSummary {
         }
     }
 
+    /// Builder: record which kernel backend the run used (the config is
+    /// not part of [`RunResult`], so the caller supplies the label).
+    pub fn with_kernel(mut self, label: &str) -> Self {
+        self.kernel = label.to_string();
+        self
+    }
+
     /// Render as pretty JSON.
     pub fn to_json(&self) -> String {
         fn num(v: f64) -> String {
@@ -131,6 +141,7 @@ impl RunSummary {
         }
         let mut out = String::from("{\n");
         field(&mut out, "algorithm", quote(&self.algorithm));
+        field(&mut out, "kernel", quote(&self.kernel));
         field(&mut out, "threads", self.threads.to_string());
         field(&mut out, "total_inputs", self.total_inputs.to_string());
         field(&mut out, "matches", self.matches.to_string());
@@ -206,6 +217,7 @@ impl RunSummary {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(out, "algorithm:     {}", self.algorithm);
+        let _ = writeln!(out, "kernel:        {}", self.kernel);
         let _ = writeln!(out, "threads:       {}", self.threads);
         let _ = writeln!(out, "inputs:        {}", self.total_inputs);
         let _ = writeln!(out, "matches:       {}", self.matches);
@@ -321,9 +333,11 @@ pub fn metrics_jsonl(summary: &RunSummary, r: &RunResult) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"type\":\"summary\",\"algorithm\":{},\"threads\":{},\"total_inputs\":{},\
-         \"matches\":{},\"throughput_tpms\":{},\"elapsed_ms\":{},\"cpu_utilisation\":{}}}\n",
+        "{{\"type\":\"summary\",\"algorithm\":{},\"kernel\":{},\"threads\":{},\
+         \"total_inputs\":{},\"matches\":{},\"throughput_tpms\":{},\"elapsed_ms\":{},\
+         \"cpu_utilisation\":{}}}\n",
         quote(&summary.algorithm),
+        quote(&summary.kernel),
         summary.threads,
         summary.total_inputs,
         summary.matches,

@@ -1,6 +1,7 @@
 //! Building datasets and run configurations from CLI options.
 
 use crate::args::{ArgError, Args};
+use iawj_common::KernelBackend;
 use iawj_core::{Algorithm, NpjTable, RunConfig, ScatterMode, Scheduler};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
 use iawj_exec::SortBackend;
@@ -25,6 +26,8 @@ pub const RUN_OPTS: &[&str] = &[
     "morsel-size",
     "scatter",
     "npj-table",
+    "kernel",
+    "prefetch-dist",
     "json",
     "perf",
     "trace-out",
@@ -184,6 +187,21 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
             expected: "latch|lockfree",
         })?;
     }
+    if let Some(v) = args.get("kernel") {
+        cfg.kernel.backend = v.parse::<KernelBackend>().map_err(|_| ArgError::Invalid {
+            key: "kernel".into(),
+            value: v.into(),
+            expected: "scalar|simd",
+        })?;
+    }
+    cfg.kernel.prefetch_dist = args.get_or("prefetch-dist", cfg.kernel.prefetch_dist)?;
+    if cfg.kernel.prefetch_dist == 0 {
+        return Err(ArgError::Invalid {
+            key: "prefetch-dist".into(),
+            value: "0".into(),
+            expected: "a positive lookahead distance",
+        });
+    }
     // Trace and metrics export need per-worker span journals.
     cfg.journal = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
     // Hardware counters: explicit opt-in, and implied by the metrics
@@ -267,6 +285,23 @@ mod tests {
         let cfg = build_config(&parse("--npj-table latch")).unwrap();
         assert_eq!(cfg.npj.table, NpjTable::Latch);
         assert!(build_config(&parse("--npj-table mutex")).is_err());
+    }
+
+    #[test]
+    fn kernel_knob() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert_eq!(cfg.kernel.backend, KernelBackend::Simd);
+        assert_eq!(cfg.kernel.prefetch_dist, iawj_common::DEFAULT_PREFETCH_DIST);
+        let cfg = build_config(&parse("--kernel scalar")).unwrap();
+        assert_eq!(cfg.kernel.backend, KernelBackend::Scalar);
+        let cfg = build_config(&parse("--kernel simd --prefetch-dist 16")).unwrap();
+        assert_eq!(cfg.kernel.backend, KernelBackend::Simd);
+        assert_eq!(cfg.kernel.prefetch_dist, 16);
+        assert!(build_config(&parse("--kernel avx512")).is_err());
+        assert!(
+            build_config(&parse("--prefetch-dist 0")).is_err(),
+            "a zero prefetch distance must be rejected at the flag level"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod arena;
 pub mod columnar;
 pub mod hash;
+pub mod kernel;
 pub mod phase;
 pub mod quantile;
 pub mod rate;
@@ -27,6 +28,7 @@ pub mod zipf;
 pub use arena::ChunkedVec;
 pub use columnar::ColumnarStream;
 pub use hash::hash_key;
+pub use kernel::{prefetch_read, KernelBackend, DEFAULT_PREFETCH_DIST};
 pub use phase::{Phase, PhaseBreakdown, PhaseCounters, PHASES};
 pub use quantile::P2Quantile;
 pub use rate::Rate;

@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Inner<T> {
     buf: VecDeque<T>,
@@ -135,7 +135,14 @@ impl<T> StreamReceiver<T> {
     }
 
     /// Pop one item, waiting up to `timeout` for the producer.
+    ///
+    /// The wait is against a fixed deadline, not a per-wakeup budget: each
+    /// wakeup (a send that raced another drain of the buffer, or a spurious
+    /// condvar wake) resumes waiting only for the *remaining* time, so the
+    /// call returns within `timeout` of entry no matter how often it is
+    /// woken.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        let deadline = Instant::now() + timeout;
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if let Some(item) = inner.buf.pop_front() {
@@ -146,7 +153,15 @@ impl<T> StreamReceiver<T> {
             if !inner.tx_alive {
                 return Err(RecvError::Disconnected);
             }
-            let (guard, res) = self.shared.not_empty.wait_timeout(inner, timeout).unwrap();
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Empty);
+            }
+            let (guard, res) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
             inner = guard;
             if res.timed_out() && inner.buf.is_empty() {
                 return if inner.tx_alive {
@@ -239,6 +254,82 @@ mod tests {
         tx.send(1).unwrap();
         drop(rx);
         assert_eq!(tx.send(2), Err(2));
+    }
+
+    /// Regression test for the timeout-restart bug: `recv_timeout` used to
+    /// hand the *full* timeout back to `wait_timeout` after every wakeup,
+    /// so a stream of wakeups that never leaves an item for this caller
+    /// (spurious wakes, or sends raced by another drain) pushed the return
+    /// arbitrarily far past the requested bound. With the deadline-based
+    /// wait, ~1 s of 5 ms-spaced wakeups must not stretch an 80 ms timeout:
+    /// the buggy version returns only after the wakeups stop (>1 s).
+    #[test]
+    fn recv_timeout_deadline_survives_repeated_wakeups() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::Instant;
+
+        let (tx, rx) = stream_channel::<u8>(2);
+        let done = AtomicBool::new(false);
+        thread::scope(|s| {
+            // Wakeup source: notifies the receiver's condvar every 5 ms
+            // without ever enqueueing an item — the in-module stand-in for
+            // spurious wakes, which cannot be forced portably.
+            s.spawn(|| {
+                for _ in 0..200 {
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    rx.shared.not_empty.notify_all();
+                    thread::sleep(Duration::from_millis(5));
+                }
+            });
+            let start = Instant::now();
+            let res = rx.recv_timeout(Duration::from_millis(80));
+            let elapsed = start.elapsed();
+            done.store(true, Ordering::Relaxed);
+            assert_eq!(res, Err(RecvError::Empty));
+            assert!(
+                elapsed >= Duration::from_millis(75),
+                "returned before the deadline: {elapsed:?}"
+            );
+            assert!(
+                elapsed < Duration::from_millis(700),
+                "wakeups must not restart the timeout: {elapsed:?}"
+            );
+        });
+        drop(tx);
+    }
+
+    /// A slow-drip producer: items keep the receiver busy, and once the
+    /// drip stops the final `recv_timeout` still spans ≈ its own timeout.
+    #[test]
+    fn recv_timeout_slow_drip_total_elapsed_tracks_timeout() {
+        use std::time::Instant;
+
+        let (tx, rx) = stream_channel::<u32>(4);
+        let producer = thread::spawn(move || {
+            for v in 0..3u32 {
+                thread::sleep(Duration::from_millis(10));
+                tx.send(v).unwrap();
+            }
+            // Keep tx alive past the consumer's last timed wait so the
+            // final result is Empty, not Disconnected.
+            thread::sleep(Duration::from_millis(300));
+        });
+        for v in 0..3u32 {
+            assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Ok(v));
+        }
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(60)),
+            Err(RecvError::Empty)
+        );
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(55) && elapsed < Duration::from_millis(400),
+            "timed-out wait should span ≈ the timeout, got {elapsed:?}"
+        );
+        producer.join().unwrap();
     }
 
     #[test]

@@ -1,8 +1,32 @@
 //! Run configuration: thread count, sort backend, the per-algorithm tuning
 //! knobs of §5.5, and harness controls (time compression, match sampling).
 
+use iawj_common::{KernelBackend, DEFAULT_PREFETCH_DIST};
 use iawj_exec::morsel::{MorselQueue, DEFAULT_MORSEL};
 use iawj_exec::{NpjTable, ScatterMode, Scheduler, SortBackend};
+
+/// Batched-kernel knobs (Fig. 21's scalar-vs-SIMD A/B switch).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Hot-loop kernel selection: `Scalar` keeps the original per-tuple
+    /// paths byte-for-byte; `Simd` (the default) batches hash/partition
+    /// derivation 8 keys at a time, software-prefetches bucket heads ahead
+    /// of the probe/build pipelines, and sorts through the explicit AVX2
+    /// network where the CPU supports it.
+    pub backend: KernelBackend,
+    /// How many tuples ahead of the consume point bucket-head prefetches
+    /// are issued (Simd pipelines only; clamped to ≥ 1).
+    pub prefetch_dist: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            backend: KernelBackend::default(),
+            prefetch_dist: DEFAULT_PREFETCH_DIST,
+        }
+    }
+}
 
 /// NPJ knobs (latching ablation; see DESIGN.md §5).
 #[derive(Clone, Copy, Debug, Default)]
@@ -168,6 +192,8 @@ pub struct RunConfig {
     pub perf: bool,
     /// Work-distribution knobs (scheduler + morsel size).
     pub sched: SchedConfig,
+    /// Batched-kernel knobs (scalar/SIMD switch + prefetch distance).
+    pub kernel: KernelConfig,
     /// NPJ knobs.
     pub npj: NpjConfig,
     /// PRJ knobs.
@@ -194,6 +220,7 @@ impl Default for RunConfig {
             journal_capacity: 1 << 14,
             perf: false,
             sched: SchedConfig::default(),
+            kernel: KernelConfig::default(),
             npj: NpjConfig::default(),
             prj: PrjConfig::default(),
             pmj: PmjConfig::default(),
@@ -267,6 +294,18 @@ impl RunConfig {
         self
     }
 
+    /// Builder: select the hot-loop kernel backend.
+    pub fn kernel(mut self, backend: KernelBackend) -> Self {
+        self.kernel.backend = backend;
+        self
+    }
+
+    /// Builder: set the software-prefetch distance for Simd pipelines.
+    pub fn prefetch_dist(mut self, dist: usize) -> Self {
+        self.kernel.prefetch_dist = dist;
+        self
+    }
+
     /// Check the knobs that would otherwise fail far from their cause —
     /// a zero morsel size would spin the morsel driver (or divide by zero
     /// in grid-cell arithmetic), a zero thread count has no workers to run.
@@ -278,6 +317,9 @@ impl RunConfig {
         }
         if self.sched.morsel_size == 0 {
             return Err("morsel size must be at least 1 tuple".into());
+        }
+        if self.kernel.prefetch_dist == 0 {
+            return Err("prefetch distance must be at least 1 tuple".into());
         }
         if self.npj.table == NpjTable::LockFree && self.npj.striped_latches.is_some() {
             return Err("striped latches require the latched NPJ table; \
@@ -432,6 +474,20 @@ mod tests {
         c.npj.striped_latches = None;
         c.npj.table = NpjTable::LockFree;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn kernel_defaults_to_simd_and_validates_dist() {
+        let c = RunConfig::default();
+        assert_eq!(c.kernel.backend, KernelBackend::Simd);
+        assert_eq!(c.kernel.prefetch_dist, DEFAULT_PREFETCH_DIST);
+        let c = c.kernel(KernelBackend::Scalar).prefetch_dist(4);
+        assert_eq!(c.kernel.backend, KernelBackend::Scalar);
+        assert_eq!(c.kernel.prefetch_dist, 4);
+        assert!(c.validate().is_ok());
+        let bad = RunConfig::default().prefetch_dist(0);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("prefetch"), "unexpected message: {err}");
     }
 
     #[test]

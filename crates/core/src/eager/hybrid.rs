@@ -31,9 +31,10 @@ use crate::eager::shj::ShjEngine;
 use crate::eager::Engine;
 use crate::lazy::EmitClock;
 use crate::output::WorkerOut;
+use iawj_common::KernelBackend;
 use iawj_common::{Phase, Sink, Tuple};
 use iawj_exec::mergejoin::merge_join;
-use iawj_exec::sort::{sort_packed, SortBackend};
+use iawj_exec::sort::{sort_packed_kernel, SortBackend};
 use iawj_exec::PhaseTimer;
 
 /// Per-worker hybrid state: an SHJ core plus a flushable backlog.
@@ -46,6 +47,7 @@ pub struct HybridEngine {
     /// Combined backlog size that triggers a mid-stream bulk flush.
     flush_at: usize,
     sort: SortBackend,
+    kernel: KernelBackend,
     flushes: usize,
 }
 
@@ -67,8 +69,15 @@ impl HybridEngine {
             defer_at_batch: defer_at_batch.max(1),
             flush_at: defer_at_batch.saturating_mul(16).max(1024),
             sort,
+            kernel: KernelBackend::default(),
             flushes: 0,
         }
+    }
+
+    /// Builder: select the hot-loop kernel backend for the flush sorts.
+    pub fn kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// How many tuples are currently deferred (diagnostics).
@@ -90,9 +99,9 @@ impl HybridEngine {
         // Backlog × backlog: one sorted merge join.
         timer.switch_to(Phase::BuildSort);
         let mut r_sorted: Vec<u64> = self.r_backlog.iter().map(|t| t.pack()).collect();
-        sort_packed(&mut r_sorted, self.sort);
+        sort_packed_kernel(&mut r_sorted, self.sort, self.kernel);
         let mut s_sorted: Vec<u64> = self.s_backlog.iter().map(|t| t.pack()).collect();
-        sort_packed(&mut s_sorted, self.sort);
+        sort_packed_kernel(&mut s_sorted, self.sort, self.kernel);
         timer.switch_to(Phase::Probe);
         let mut local_now = emit.refresh();
         let mut n = 0u32;

@@ -12,10 +12,11 @@
 use crate::eager::Engine;
 use crate::lazy::EmitClock;
 use crate::output::WorkerOut;
+use iawj_common::KernelBackend;
 use iawj_common::{Phase, Sink, Tuple};
 use iawj_exec::merge::kway_merge_tagged;
 use iawj_exec::mergejoin::{merge_join, merge_join_cross_runs};
-use iawj_exec::sort::{sort_packed, SortBackend};
+use iawj_exec::sort::{sort_packed_kernel, SortBackend};
 use iawj_exec::PhaseTimer;
 
 /// Per-worker PMJ state.
@@ -23,6 +24,7 @@ pub struct PmjEngine {
     /// Tuples per run (δ × expected per-worker input), at least 16.
     run_size: usize,
     sort: SortBackend,
+    kernel: KernelBackend,
     /// Cross-join new runs against old ones immediately (progressive
     /// merging) instead of one final merge phase.
     eager_merge: bool,
@@ -50,12 +52,19 @@ impl PmjEngine {
         PmjEngine {
             run_size,
             sort,
+            kernel: KernelBackend::default(),
             eager_merge,
             r_pending: Vec::new(),
             s_pending: Vec::new(),
             r_runs: Vec::new(),
             s_runs: Vec::new(),
         }
+    }
+
+    /// Builder: select the hot-loop kernel backend for the sort steps.
+    pub fn kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The configured tuples-per-run.
@@ -71,9 +80,9 @@ impl PmjEngine {
         }
         timer.switch_to(Phase::BuildSort);
         let mut r_run = std::mem::take(&mut self.r_pending);
-        sort_packed(&mut r_run, self.sort);
+        sort_packed_kernel(&mut r_run, self.sort, self.kernel);
         let mut s_run = std::mem::take(&mut self.s_pending);
-        sort_packed(&mut s_run, self.sort);
+        sort_packed_kernel(&mut s_run, self.sort, self.kernel);
 
         timer.switch_to(Phase::Probe);
         let now = emit.refresh();

@@ -18,7 +18,7 @@ use iawj_exec::merge::{
 };
 use iawj_exec::morsel::{for_each_morsel, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
-use iawj_exec::sort::{pack_tuples, sort_packed, SortBackend};
+use iawj_exec::sort::{pack_tuples, sort_packed_kernel, SortBackend};
 use iawj_exec::{run_workers, Latch};
 
 /// Run MPass.
@@ -56,10 +56,10 @@ pub fn run(
         // Sort local runs.
         timer.switch_to(Phase::BuildSort);
         let mut r_run = pack_tuples(&r[chunk_range(r.len(), threads, tid)]);
-        sort_packed(&mut r_run, cfg.sort);
+        sort_packed_kernel(&mut r_run, cfg.sort, cfg.kernel.backend);
         *r_store[tid].lock() = Some(r_run);
         let mut s_run = pack_tuples(&s[chunk_range(s.len(), threads, tid)]);
-        sort_packed(&mut s_run, cfg.sort);
+        sort_packed_kernel(&mut s_run, cfg.sort, cfg.kernel.backend);
         *s_store[tid].lock() = Some(s_run);
         timer.switch_to(Phase::Other);
         sorted.wait();

@@ -13,7 +13,8 @@ use crate::clock::EventClock;
 use crate::config::RunConfig;
 use crate::lazy::{steal_scan, EmitClock};
 use crate::output::WorkerOut;
-use iawj_common::{Phase, Sink, Ts, Tuple};
+use iawj_common::kernel::tuple_buckets_into;
+use iawj_common::{KernelBackend, Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::{run_workers, LockFreeTable, NpjTable, SharedTable, StripedTable};
 use iawj_obs::{MARK_CAS_RETRY, MARK_LATCH_WAIT};
@@ -81,6 +82,108 @@ impl Table {
             Table::LockFree(t) => t.bytes(),
         }
     }
+
+    /// Bucket mask shared by all table modes (same capacity → same mask).
+    #[inline]
+    fn mask(&self) -> u64 {
+        match self {
+            Table::PerBucket(t) => t.mask(),
+            Table::Striped(t) => t.mask(),
+            Table::LockFree(t) => t.mask(),
+        }
+    }
+
+    /// Prefetch the head of bucket `b` (a hint; out-of-range is a no-op).
+    #[inline]
+    fn prefetch_bucket(&self, b: usize) {
+        match self {
+            Table::PerBucket(t) => t.prefetch_bucket(b),
+            Table::Striped(t) => t.prefetch_bucket(b),
+            Table::LockFree(t) => t.prefetch_bucket(b),
+        }
+    }
+
+    /// [`Table::insert`] with the bucket index already derived.
+    #[inline]
+    fn insert_at(&self, b: usize, key: u32, ts: u32) -> u32 {
+        match self {
+            Table::PerBucket(t) => t.insert_at_counting(b, key, ts),
+            Table::Striped(t) => t.insert_at_counting(b, key, ts),
+            Table::LockFree(t) => t.insert_at(b, key, ts),
+        }
+    }
+
+    /// [`Table::probe`] with the bucket index already derived.
+    #[inline]
+    fn probe_at(&self, b: usize, key: u32, f: impl FnMut(u32)) -> u32 {
+        match self {
+            Table::PerBucket(t) => t.probe_at_counting(b, key, f),
+            Table::Striped(t) => t.probe_at_counting(b, key, f),
+            Table::LockFree(t) => {
+                t.probe_at(b, key, f);
+                0
+            }
+        }
+    }
+}
+
+/// Tuples per batched-pipeline block: large enough to amortise the 8-wide
+/// hash kernel, small enough that the derived bucket indices stay in L1.
+const PIPELINE_BLOCK: usize = 1024;
+
+/// Batched build over one contiguous range (`--kernel simd` path): per
+/// block, derive every bucket index up front with the 8-wide hash kernel,
+/// then walk the block issuing a bucket-head prefetch `dist` tuples ahead
+/// of each insert so chain heads are (likely) cache-resident by the time
+/// they are claimed.
+#[inline]
+fn build_batched(
+    table: &Table,
+    tuples: &[Tuple],
+    kernel: KernelBackend,
+    dist: usize,
+    buckets: &mut Vec<usize>,
+) -> u32 {
+    let mut events = 0u32;
+    for block in tuples.chunks(PIPELINE_BLOCK) {
+        tuple_buckets_into(kernel, block, table.mask(), buckets);
+        for (i, t) in block.iter().enumerate() {
+            if let Some(&ahead) = buckets.get(i + dist) {
+                table.prefetch_bucket(ahead);
+            }
+            events += table.insert_at(buckets[i], t.key, t.ts);
+        }
+    }
+    events
+}
+
+/// Batched probe over one contiguous range, same pipeline shape as
+/// [`build_batched`]. `emit.now()` is still taken per tuple, so match
+/// timestamps keep the exact per-tuple semantics of the scalar path.
+#[inline]
+fn probe_batched(
+    table: &Table,
+    tuples: &[Tuple],
+    kernel: KernelBackend,
+    dist: usize,
+    buckets: &mut Vec<usize>,
+    emit: &mut EmitClock,
+    out: &mut WorkerOut,
+) -> u32 {
+    let mut events = 0u32;
+    for block in tuples.chunks(PIPELINE_BLOCK) {
+        tuple_buckets_into(kernel, block, table.mask(), buckets);
+        for (i, t) in block.iter().enumerate() {
+            if let Some(&ahead) = buckets.get(i + dist) {
+                table.prefetch_bucket(ahead);
+            }
+            let now = emit.now();
+            events += table.probe_at(buckets[i], t.key, |r_ts| {
+                out.sink.push(t.key, r_ts, t.ts, now)
+            });
+        }
+    }
+    events
 }
 
 /// Run NPJ. `arrive_by` is the arrival timestamp of the window's last
@@ -104,6 +207,11 @@ pub fn run(
         clock.wait_until(arrive_by);
 
         let mark = table.contention_mark();
+        let kernel = cfg.kernel.backend;
+        let dist = cfg.kernel.prefetch_dist.max(1);
+        // Per-worker scratch for the batched pipelines, reused across
+        // morsel ranges so the Simd path allocates once per worker.
+        let mut buckets: Vec<usize> = Vec::new();
         timer.switch_to(Phase::BuildSort);
         if stealing {
             // The scan owns the timer, so contention events accumulate in a
@@ -111,11 +219,20 @@ pub fn run(
             // count is exact; only their timestamps cluster).
             let mut events = 0u32;
             steal_scan(&build_q, tid, &mut timer, |range| {
-                for t in &r[range] {
-                    events += table.insert(t.key, t.ts);
+                if kernel.is_simd() {
+                    events += build_batched(&table, &r[range], kernel, dist, &mut buckets);
+                } else {
+                    for t in &r[range] {
+                        events += table.insert(t.key, t.ts);
+                    }
                 }
             });
             for _ in 0..events {
+                timer.instant(mark);
+            }
+        } else if kernel.is_simd() {
+            let chunk = &r[chunk_range(r.len(), threads, tid)];
+            for _ in 0..build_batched(&table, chunk, kernel, dist, &mut buckets) {
                 timer.instant(mark);
             }
         } else {
@@ -137,11 +254,37 @@ pub fn run(
         if stealing {
             let mut events = 0u32;
             steal_scan(&probe_q, tid, &mut timer, |range| {
-                for t in &s[range] {
-                    let now = emit.now();
-                    events += table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+                if kernel.is_simd() {
+                    events += probe_batched(
+                        &table,
+                        &s[range],
+                        kernel,
+                        dist,
+                        &mut buckets,
+                        &mut emit,
+                        &mut out,
+                    );
+                } else {
+                    for t in &s[range] {
+                        let now = emit.now();
+                        events += table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+                    }
                 }
             });
+            for _ in 0..events {
+                timer.instant(mark);
+            }
+        } else if kernel.is_simd() {
+            let chunk = &s[chunk_range(s.len(), threads, tid)];
+            let events = probe_batched(
+                &table,
+                chunk,
+                kernel,
+                dist,
+                &mut buckets,
+                &mut emit,
+                &mut out,
+            );
             for _ in 0..events {
                 timer.instant(mark);
             }
@@ -277,6 +420,39 @@ mod tests {
                 .collect();
             got.sort_unstable();
             assert_eq!(got, expect, "scheduler {scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_backends_agree_bitwise() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(900, 32, 61);
+        let s = random_stream(1000, 32, 62);
+        for table in [NpjTable::Latch, NpjTable::LockFree] {
+            for scheduler in [Scheduler::Static, Scheduler::Steal] {
+                let collect = |backend: KernelBackend| {
+                    let cfg = RunConfig::with_threads(4)
+                        .record_all()
+                        .npj_table(table)
+                        .scheduler(scheduler)
+                        .morsel_size(64)
+                        .kernel(backend)
+                        .prefetch_dist(4);
+                    let clock = EventClock::ungated();
+                    let outs = run(&r, &s, &cfg, &clock, 0);
+                    let mut got: Vec<_> = outs
+                        .iter()
+                        .flat_map(|w| w.sink.samples.iter().map(|m| (m.key, m.r_ts, m.s_ts)))
+                        .collect();
+                    got.sort_unstable();
+                    got
+                };
+                assert_eq!(
+                    collect(KernelBackend::Scalar),
+                    collect(KernelBackend::Simd),
+                    "table {table:?} scheduler {scheduler:?}"
+                );
+            }
         }
     }
 

@@ -9,13 +9,14 @@
 //! like the original's two-pass scheme.
 
 use crate::clock::EventClock;
-use crate::config::RunConfig;
+use crate::config::{KernelConfig, RunConfig};
 use crate::lazy::{steal_scan, EmitClock, Slots};
 use crate::output::WorkerOut;
+use iawj_common::kernel::tuple_buckets_into;
 use iawj_common::{Phase, Sink, Ts, Tuple};
 use iawj_exec::morsel::{for_each_morsel, MorselQueue, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
-use iawj_exec::radix::{histogram, partition_seq, ScatterPlan, SharedOut};
+use iawj_exec::radix::{histogram_kernel, partition_seq_kernel, ScatterPlan, SharedOut};
 use iawj_exec::swwc::{ScatterMode, SwwcBuffers, MARK_FLUSH};
 use iawj_exec::{run_workers, LocalTable, PhaseTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,26 +84,33 @@ pub fn run(
         clock.wait_until(arrive_by);
 
         // --- Pass 1: cooperative parallel partition of R and S ---
+        let kernel = cfg.kernel.backend;
         timer.switch_to(Phase::Partition);
         if stealing {
             steal_scan(&r_hist_q, tid, &mut timer, |cells| {
                 for g in cells {
-                    r_ghists.set(g, histogram(&r[grid_chunk(r.len(), morsel, g)], 0, bits1));
+                    r_ghists.set(
+                        g,
+                        histogram_kernel(&r[grid_chunk(r.len(), morsel, g)], 0, bits1, kernel),
+                    );
                 }
             });
             steal_scan(&s_hist_q, tid, &mut timer, |cells| {
                 for g in cells {
-                    s_ghists.set(g, histogram(&s[grid_chunk(s.len(), morsel, g)], 0, bits1));
+                    s_ghists.set(
+                        g,
+                        histogram_kernel(&s[grid_chunk(s.len(), morsel, g)], 0, bits1, kernel),
+                    );
                 }
             });
         } else {
             r_hists.set(
                 tid,
-                histogram(&r[chunk_range(r.len(), threads, tid)], 0, bits1),
+                histogram_kernel(&r[chunk_range(r.len(), threads, tid)], 0, bits1, kernel),
             );
             s_hists.set(
                 tid,
-                histogram(&s[chunk_range(s.len(), threads, tid)], 0, bits1),
+                histogram_kernel(&s[chunk_range(s.len(), threads, tid)], 0, bits1, kernel),
             );
         }
         hist_done.wait();
@@ -141,8 +149,8 @@ pub fn run(
                 for g in cells {
                     let c = &r[grid_chunk(r.len(), morsel, g)];
                     match &mut wc {
-                        Some((rb, _)) => r_plan.scatter_chunk_swwc(c, g, r_out, rb),
-                        None => r_plan.scatter_chunk(c, g, r_out),
+                        Some((rb, _)) => r_plan.scatter_chunk_swwc_kernel(c, g, r_out, rb, kernel),
+                        None => r_plan.scatter_chunk_kernel(c, g, r_out, kernel),
                     }
                 }
             });
@@ -150,30 +158,42 @@ pub fn run(
                 for g in cells {
                     let c = &s[grid_chunk(s.len(), morsel, g)];
                     match &mut wc {
-                        Some((_, sb)) => s_plan.scatter_chunk_swwc(c, g, s_out, sb),
-                        None => s_plan.scatter_chunk(c, g, s_out),
+                        Some((_, sb)) => s_plan.scatter_chunk_swwc_kernel(c, g, s_out, sb, kernel),
+                        None => s_plan.scatter_chunk_kernel(c, g, s_out, kernel),
                     }
                 }
             });
         } else {
             match &mut wc {
                 Some((rb, sb)) => {
-                    r_plan.scatter_chunk_swwc(
+                    r_plan.scatter_chunk_swwc_kernel(
                         &r[chunk_range(r.len(), threads, tid)],
                         tid,
                         r_out,
                         rb,
+                        kernel,
                     );
-                    s_plan.scatter_chunk_swwc(
+                    s_plan.scatter_chunk_swwc_kernel(
                         &s[chunk_range(s.len(), threads, tid)],
                         tid,
                         s_out,
                         sb,
+                        kernel,
                     );
                 }
                 None => {
-                    r_plan.scatter_chunk(&r[chunk_range(r.len(), threads, tid)], tid, r_out);
-                    s_plan.scatter_chunk(&s[chunk_range(s.len(), threads, tid)], tid, s_out);
+                    r_plan.scatter_chunk_kernel(
+                        &r[chunk_range(r.len(), threads, tid)],
+                        tid,
+                        r_out,
+                        kernel,
+                    );
+                    s_plan.scatter_chunk_kernel(
+                        &s[chunk_range(s.len(), threads, tid)],
+                        tid,
+                        s_out,
+                        kernel,
+                    );
                 }
             }
         }
@@ -203,7 +223,11 @@ pub fn run(
 
         // --- Per-partition cache-resident joins from a shared queue ---
         let mut emit = EmitClock::new(clock);
-        let do_partition =
+        let kcfg = cfg.kernel;
+        // Per-worker scratch for the batched bucket pipeline, reused across
+        // every partition this worker joins.
+        let mut buckets: Vec<usize> = Vec::new();
+        let mut do_partition =
             |p: usize, timer: &mut PhaseTimer, emit: &mut EmitClock, out: &mut WorkerOut| {
                 let rp = &r_part[r_plan.bounds[p]..r_plan.bounds[p + 1]];
                 let sp = &s_part[s_plan.bounds[p]..s_plan.bounds[p + 1]];
@@ -213,13 +237,21 @@ pub fn run(
                 if bits2 > 0 {
                     // --- Pass 2: thread-local refinement ---
                     timer.switch_to(Phase::Partition);
-                    let rr = partition_seq(rp, bits1, bits2);
-                    let ss = partition_seq(sp, bits1, bits2);
+                    let rr = partition_seq_kernel(rp, bits1, bits2, kernel);
+                    let ss = partition_seq_kernel(sp, bits1, bits2, kernel);
                     for q in 0..rr.fanout() {
-                        join_partition(rr.partition(q), ss.partition(q), timer, emit, out);
+                        join_partition(
+                            rr.partition(q),
+                            ss.partition(q),
+                            &kcfg,
+                            &mut buckets,
+                            timer,
+                            emit,
+                            out,
+                        );
                     }
                 } else {
-                    join_partition(rp, sp, timer, emit, out);
+                    join_partition(rp, sp, &kcfg, &mut buckets, timer, emit, out);
                 }
             };
         if stealing {
@@ -247,9 +279,18 @@ pub fn run(
 
 /// Cache-resident hash join of one partition pair: build a private table
 /// over the R side, probe with the S side.
+///
+/// Under [`KernelBackend::Simd`] both loops run as batched pipelines:
+/// bucket indices come from the 8-wide hash kernel and each access
+/// prefetches the bucket head `dist` tuples ahead. The partition is mostly
+/// cache-resident already, so the win here is smaller than NPJ's — but the
+/// pipeline keeps the A/B symmetric across algorithms. `Scalar` keeps the
+/// original per-tuple loops byte-for-byte.
 fn join_partition(
     rp: &[Tuple],
     sp: &[Tuple],
+    kcfg: &KernelConfig,
+    buckets: &mut Vec<usize>,
     timer: &mut PhaseTimer,
     emit: &mut EmitClock<'_>,
     out: &mut WorkerOut,
@@ -257,15 +298,37 @@ fn join_partition(
     if rp.is_empty() || sp.is_empty() {
         return;
     }
+    let (kernel, dist) = (kcfg.backend, kcfg.prefetch_dist.max(1));
     timer.switch_to(Phase::BuildSort);
     let mut table = LocalTable::with_capacity(rp.len());
-    for t in rp {
-        table.insert(t.key, t.ts);
-    }
-    timer.switch_to(Phase::Probe);
-    for t in sp {
-        let now = emit.now();
-        table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+    if kernel.is_simd() {
+        tuple_buckets_into(kernel, rp, table.mask(), buckets);
+        for (i, t) in rp.iter().enumerate() {
+            if let Some(&ahead) = buckets.get(i + dist) {
+                table.prefetch_bucket(ahead);
+            }
+            table.insert_at(buckets[i], t.key, t.ts);
+        }
+        timer.switch_to(Phase::Probe);
+        tuple_buckets_into(kernel, sp, table.mask(), buckets);
+        for (i, t) in sp.iter().enumerate() {
+            if let Some(&ahead) = buckets.get(i + dist) {
+                table.prefetch_bucket(ahead);
+            }
+            let now = emit.now();
+            table.probe_at(buckets[i], t.key, |r_ts| {
+                out.sink.push(t.key, r_ts, t.ts, now)
+            });
+        }
+    } else {
+        for t in rp {
+            table.insert(t.key, t.ts);
+        }
+        timer.switch_to(Phase::Probe);
+        for t in sp {
+            let now = emit.now();
+            table.probe(t.key, |r_ts| out.sink.push(t.key, r_ts, t.ts, now));
+        }
     }
 }
 
@@ -273,7 +336,7 @@ fn join_partition(
 mod tests {
     use super::*;
     use crate::reference::nested_loop_join;
-    use iawj_common::{Rng, Window};
+    use iawj_common::{KernelBackend, Rng, Window};
 
     fn random_stream(n: usize, keys: u32, seed: u64) -> Vec<Tuple> {
         let mut rng = Rng::new(seed);
@@ -416,6 +479,34 @@ mod tests {
         let outs = run(&r, &s, &cfg, &clock, 0);
         // 10 grid cells per side, each drained exactly once.
         assert_eq!(count_flush_marks(&outs), 10 + 10);
+    }
+
+    #[test]
+    fn kernel_backends_agree_bitwise() {
+        use iawj_exec::Scheduler;
+        let r = random_stream(2500, 1 << 10, 71);
+        let s = random_stream(2500, 1 << 10, 72);
+        for scheduler in [Scheduler::Static, Scheduler::Steal] {
+            for (bits, per_pass) in [(6u32, 8u32), (10, 6)] {
+                let collect = |backend: KernelBackend| {
+                    let mut cfg = RunConfig::with_threads(4)
+                        .record_all()
+                        .scheduler(scheduler)
+                        .morsel_size(128)
+                        .kernel(backend)
+                        .prefetch_dist(4);
+                    cfg.prj.radix_bits = bits;
+                    cfg.prj.max_bits_per_pass = per_pass;
+                    let clock = EventClock::ungated();
+                    canonical(&run(&r, &s, &cfg, &clock, 0))
+                };
+                assert_eq!(
+                    collect(KernelBackend::Scalar),
+                    collect(KernelBackend::Simd),
+                    "scheduler {scheduler:?} bits={bits}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -102,7 +102,8 @@ fn run_algorithm(
                     }
                     Algorithm::HybridShj => {
                         let engine =
-                            HybridEngine::new(exp_r, exp_s, cfg.hybrid.defer_at_batch, cfg.sort);
+                            HybridEngine::new(exp_r, exp_s, cfg.hybrid.defer_at_batch, cfg.sort)
+                                .kernel(cfg.kernel.backend);
                         drive_worker(engine, rv, sv, cfg, clock)
                     }
                     _ => {
@@ -111,7 +112,8 @@ fn run_algorithm(
                             cfg.pmj.delta,
                             cfg.sort,
                             cfg.pmj.eager_merge,
-                        );
+                        )
+                        .kernel(cfg.kernel.backend);
                         drive_worker(engine, rv, sv, cfg, clock)
                     }
                 }
@@ -135,7 +137,8 @@ fn run_algorithm(
                         cfg.pmj.delta,
                         cfg.sort,
                         cfg.pmj.eager_merge,
-                    );
+                    )
+                    .kernel(cfg.kernel.backend);
                     drive_worker(engine, rv, sv, cfg, clock)
                 }
             })

@@ -19,7 +19,7 @@
 
 use crate::latch::Latch;
 use iawj_common::hash::{bucket_of, next_pow2_at_least};
-use iawj_common::{Key, Ts};
+use iawj_common::{prefetch_read, Key, Ts};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};
 
@@ -104,10 +104,34 @@ impl LocalTable {
             + self.entries.capacity() * std::mem::size_of::<Entry>()
     }
 
+    /// The power-of-two bucket mask, for batched bucket derivation
+    /// (`iawj_common::kernel::tuple_buckets_into`).
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Hint-prefetch the chain head of bucket `b` ahead of an
+    /// [`LocalTable::insert_at`]/[`LocalTable::probe_at`] at distance.
+    #[inline]
+    pub fn prefetch_bucket(&self, b: usize) {
+        if let Some(h) = self.heads.get(b) {
+            prefetch_read(h);
+        }
+    }
+
     /// Insert an entry.
     #[inline]
     pub fn insert(&mut self, key: Key, ts: Ts) {
-        let b = bucket_of(key, self.mask);
+        self.insert_at(bucket_of(key, self.mask), key, ts);
+    }
+
+    /// Insert into a precomputed bucket. `b` must equal
+    /// `bucket_of(key, self.mask())` — the prefetched pipelines compute it
+    /// in 8-key blocks and feed it back here.
+    #[inline]
+    pub fn insert_at(&mut self, b: usize, key: Key, ts: Ts) {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let idx = self.entries.len() as i32;
         self.entries.push(Entry {
             key,
@@ -119,8 +143,15 @@ impl LocalTable {
 
     /// Call `f(ts)` for every stored entry with this key.
     #[inline]
-    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
-        let b = bucket_of(key, self.mask);
+    pub fn probe(&self, key: Key, f: impl FnMut(Ts)) {
+        self.probe_at(bucket_of(key, self.mask), key, f);
+    }
+
+    /// Probe a precomputed bucket; same contract as
+    /// [`LocalTable::insert_at`].
+    #[inline]
+    pub fn probe_at(&self, b: usize, key: Key, mut f: impl FnMut(Ts)) {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let mut cur = self.heads[b];
         while cur >= 0 {
             let e = &self.entries[cur as usize];
@@ -163,12 +194,33 @@ impl SharedTable {
         self.insert_counting(key, ts);
     }
 
+    /// The power-of-two bucket mask, for batched bucket derivation.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Hint-prefetch bucket `b`'s latch + chain vector header.
+    #[inline]
+    pub fn prefetch_bucket(&self, b: usize) {
+        if let Some(bucket) = self.buckets.get(b) {
+            prefetch_read(bucket);
+        }
+    }
+
     /// Insert from any thread, reporting how many spin-wait episodes the
     /// bucket latch cost (0 when uncontended). The NPJ engine surfaces each
     /// episode as a `latch:wait` journal instant.
     #[inline]
     pub fn insert_counting(&self, key: Key, ts: Ts) -> u32 {
-        let b = bucket_of(key, self.mask);
+        self.insert_at_counting(bucket_of(key, self.mask), key, ts)
+    }
+
+    /// Insert into a precomputed bucket (`b == bucket_of(key, mask)`),
+    /// counting latch waits.
+    #[inline]
+    pub fn insert_at_counting(&self, b: usize, key: Key, ts: Ts) -> u32 {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let (mut guard, waits) = self.buckets[b].lock_counting();
         guard.push((key, ts));
         waits
@@ -182,8 +234,14 @@ impl SharedTable {
 
     /// Probe, reporting how many spin-wait episodes the bucket latch cost.
     #[inline]
-    pub fn probe_counting(&self, key: Key, mut f: impl FnMut(Ts)) -> u32 {
-        let b = bucket_of(key, self.mask);
+    pub fn probe_counting(&self, key: Key, f: impl FnMut(Ts)) -> u32 {
+        self.probe_at_counting(bucket_of(key, self.mask), key, f)
+    }
+
+    /// Probe a precomputed bucket, counting latch waits.
+    #[inline]
+    pub fn probe_at_counting(&self, b: usize, key: Key, mut f: impl FnMut(Ts)) -> u32 {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let (guard, waits) = self.buckets[b].lock_counting();
         for &(k, ts) in guard.iter() {
             if k == key {
@@ -259,11 +317,33 @@ impl StripedTable {
         self.insert_counting(key, ts);
     }
 
+    /// The power-of-two bucket mask, for batched bucket derivation.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Hint-prefetch bucket `b`'s chain vector header (the stripe latch is
+    /// a separate, much smaller array that stays cache-resident anyway).
+    #[inline]
+    pub fn prefetch_bucket(&self, b: usize) {
+        if let Some(bucket) = self.buckets.get(b) {
+            prefetch_read(bucket);
+        }
+    }
+
     /// Insert from any thread, reporting how many spin-wait episodes the
     /// stripe latch cost (0 when uncontended).
     #[inline]
     pub fn insert_counting(&self, key: Key, ts: Ts) -> u32 {
-        let b = bucket_of(key, self.mask);
+        self.insert_at_counting(bucket_of(key, self.mask), key, ts)
+    }
+
+    /// Insert into a precomputed bucket (`b == bucket_of(key, mask)`),
+    /// counting stripe-latch waits.
+    #[inline]
+    pub fn insert_at_counting(&self, b: usize, key: Key, ts: Ts) -> u32 {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let (_guard, waits) = self.stripes[self.stripe_of(b)].lock_counting();
         // SAFETY: stripe latch held (see type-level invariant).
         unsafe { (*self.buckets[b].get()).push((key, ts)) };
@@ -278,8 +358,14 @@ impl StripedTable {
 
     /// Probe, reporting how many spin-wait episodes the stripe latch cost.
     #[inline]
-    pub fn probe_counting(&self, key: Key, mut f: impl FnMut(Ts)) -> u32 {
-        let b = bucket_of(key, self.mask);
+    pub fn probe_counting(&self, key: Key, f: impl FnMut(Ts)) -> u32 {
+        self.probe_at_counting(bucket_of(key, self.mask), key, f)
+    }
+
+    /// Probe a precomputed bucket, counting stripe-latch waits.
+    #[inline]
+    pub fn probe_at_counting(&self, b: usize, key: Key, mut f: impl FnMut(Ts)) -> u32 {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         let (_guard, waits) = self.stripes[self.stripe_of(b)].lock_counting();
         // SAFETY: stripe latch held.
         for &(k, ts) in unsafe { (*self.buckets[b].get()).iter() } {
@@ -385,6 +471,22 @@ impl LockFreeTable {
         }
     }
 
+    /// The power-of-two bucket mask, for batched bucket derivation.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Hint-prefetch the atomic head of bucket `b` — ahead of both the
+    /// build's CAS loop (which starts with a head load) and the probe's
+    /// acquire load.
+    #[inline]
+    pub fn prefetch_bucket(&self, b: usize) {
+        if let Some(h) = self.heads.get(b) {
+            prefetch_read(h);
+        }
+    }
+
     /// Insert from any thread; returns the number of failed bucket-head
     /// CAS attempts (0 when no other thread raced on this bucket).
     ///
@@ -392,6 +494,14 @@ impl LockFreeTable {
     /// `expected` inserts.
     #[inline]
     pub fn insert(&self, key: Key, ts: Ts) -> u32 {
+        self.insert_at(bucket_of(key, self.mask), key, ts)
+    }
+
+    /// Insert into a precomputed bucket (`b == bucket_of(key, mask)`),
+    /// counting failed publish CASes.
+    #[inline]
+    pub fn insert_at(&self, b: usize, key: Key, ts: Ts) -> u32 {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         // Claim an arena slot. Relaxed suffices: the claim only hands out
         // exclusive indices; publication ordering comes from the CAS below.
         let idx = self.claimed.fetch_add(1, Ordering::Relaxed);
@@ -400,7 +510,6 @@ impl LockFreeTable {
             "LockFreeTable arena exhausted: capacity {}",
             self.slots.len()
         );
-        let b = bucket_of(key, self.mask);
         let head = &self.heads[b];
         let mut cur = head.load(Ordering::Relaxed);
         let mut retries = 0u32;
@@ -428,8 +537,14 @@ impl LockFreeTable {
 
     /// Call `f(ts)` for every stored entry with this key.
     #[inline]
-    pub fn probe(&self, key: Key, mut f: impl FnMut(Ts)) {
-        let b = bucket_of(key, self.mask);
+    pub fn probe(&self, key: Key, f: impl FnMut(Ts)) {
+        self.probe_at(bucket_of(key, self.mask), key, f);
+    }
+
+    /// Probe a precomputed bucket (`b == bucket_of(key, mask)`).
+    #[inline]
+    pub fn probe_at(&self, b: usize, key: Key, mut f: impl FnMut(Ts)) {
+        debug_assert_eq!(b, bucket_of(key, self.mask));
         // Acquire pairs with the publishing Release CAS; the release
         // sequence through later head RMWs makes the whole chain visible.
         let mut cur = self.heads[b].load(Ordering::Acquire);
@@ -705,6 +820,76 @@ mod tests {
         table.insert(1, 1);
         table.insert(2, 2);
         table.insert(3, 3);
+    }
+
+    #[test]
+    fn precomputed_bucket_apis_match_plain_paths() {
+        // Every `_at` variant fed `bucket_of(key, mask)` (with a prefetch
+        // ahead, as the pipelines issue them) must behave exactly like the
+        // key-only path.
+        let keys: Vec<Key> = (0..500u32).map(|i| i % 97).collect();
+
+        let mut local = LocalTable::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let b = bucket_of(k, local.mask());
+            local.prefetch_bucket(b);
+            local.insert_at(b, k, i as Ts);
+        }
+        let shared = SharedTable::with_capacity(keys.len());
+        let striped = StripedTable::with_capacity(keys.len(), 8);
+        let lockfree = LockFreeTable::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                shared.insert_at_counting(bucket_of(k, shared.mask()), k, i as Ts),
+                0
+            );
+            assert_eq!(
+                striped.insert_at_counting(bucket_of(k, striped.mask()), k, i as Ts),
+                0
+            );
+            lockfree.prefetch_bucket(bucket_of(k, lockfree.mask()));
+            assert_eq!(
+                lockfree.insert_at(bucket_of(k, lockfree.mask()), k, i as Ts),
+                0
+            );
+        }
+        for k in 0..97u32 {
+            let mut via_key = Vec::new();
+            local.probe(k, |ts| via_key.push(ts));
+            let mut via_bucket = Vec::new();
+            let b = bucket_of(k, local.mask());
+            local.prefetch_bucket(b);
+            local.probe_at(b, k, |ts| via_bucket.push(ts));
+            assert_eq!(via_key, via_bucket, "LocalTable key {k}");
+
+            let collect = |f: &dyn Fn(&mut Vec<Ts>)| {
+                let mut v = Vec::new();
+                f(&mut v);
+                v.sort_unstable();
+                v
+            };
+            let s1 = collect(&|v| shared.probe(k, |ts| v.push(ts)));
+            let s2 = collect(&|v| {
+                shared.probe_at_counting(bucket_of(k, shared.mask()), k, |ts| v.push(ts));
+            });
+            assert_eq!(s1, s2, "SharedTable key {k}");
+            let t1 = collect(&|v| striped.probe(k, |ts| v.push(ts)));
+            let t2 = collect(&|v| {
+                striped.probe_at_counting(bucket_of(k, striped.mask()), k, |ts| v.push(ts));
+            });
+            assert_eq!(t1, t2, "StripedTable key {k}");
+            let l1 = collect(&|v| lockfree.probe(k, |ts| v.push(ts)));
+            let l2 = collect(&|v| {
+                lockfree.probe_at(bucket_of(k, lockfree.mask()), k, |ts| v.push(ts));
+            });
+            assert_eq!(l1, l2, "LockFreeTable key {k}");
+            assert_eq!(s1, l1, "tables disagree on key {k}");
+        }
+        // Out-of-range prefetches are harmless no-ops.
+        local.prefetch_bucket(usize::MAX);
+        shared.prefetch_bucket(usize::MAX);
+        striped.prefetch_bucket(usize::MAX);
+        lockfree.prefetch_bucket(usize::MAX);
     }
 
     #[test]

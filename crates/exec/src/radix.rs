@@ -8,7 +8,8 @@
 //! disjoint output ranges.
 
 use crate::pool::{chunk_range, run_workers};
-use iawj_common::{Key, Tuple};
+use iawj_common::kernel::{partition_batch8, HASH_BLOCK};
+use iawj_common::{KernelBackend, Key, Tuple};
 
 /// Number of partitions produced by `bits` radix bits.
 #[inline]
@@ -24,9 +25,39 @@ pub fn partition_of(key: Key, shift: u32, bits: u32) -> usize {
 
 /// Per-partition counts of a tuple slice.
 pub fn histogram(tuples: &[Tuple], shift: u32, bits: u32) -> Vec<u32> {
+    histogram_kernel(tuples, shift, bits, KernelBackend::Scalar)
+}
+
+/// [`histogram`] with a selectable derivation kernel: under
+/// [`KernelBackend::Simd`] partition indices come 8 keys at a time from the
+/// batched shift-and-mask kernel. Counts are bitwise-identical across
+/// backends — the derivation is pure bit arithmetic either way.
+pub fn histogram_kernel(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    kernel: KernelBackend,
+) -> Vec<u32> {
     let mut hist = vec![0u32; fanout(bits)];
-    for t in tuples {
-        hist[partition_of(t.key, shift, bits)] += 1;
+    if kernel.is_simd() {
+        let mask32 = (fanout(bits) - 1) as u32;
+        let mut chunks = tuples.chunks_exact(HASH_BLOCK);
+        let mut keys = [0 as Key; HASH_BLOCK];
+        for block in &mut chunks {
+            for (k, t) in keys.iter_mut().zip(block) {
+                *k = t.key;
+            }
+            for p in partition_batch8(kernel, &keys, shift, mask32) {
+                hist[p] += 1;
+            }
+        }
+        for t in chunks.remainder() {
+            hist[partition_of(t.key, shift, bits)] += 1;
+        }
+    } else {
+        for t in tuples {
+            hist[partition_of(t.key, shift, bits)] += 1;
+        }
     }
     hist
 }
@@ -56,7 +87,18 @@ impl Partitioned {
 
 /// Sequential single-pass partitioning.
 pub fn partition_seq(tuples: &[Tuple], shift: u32, bits: u32) -> Partitioned {
-    let hist = histogram(tuples, shift, bits);
+    partition_seq_kernel(tuples, shift, bits, KernelBackend::Scalar)
+}
+
+/// [`partition_seq`] with a selectable derivation kernel (see
+/// [`histogram_kernel`]); output is bitwise-identical across backends.
+pub fn partition_seq_kernel(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    kernel: KernelBackend,
+) -> Partitioned {
+    let hist = histogram_kernel(tuples, shift, bits, kernel);
     let f = fanout(bits);
     let mut bounds = Vec::with_capacity(f + 1);
     let mut acc = 0usize;
@@ -67,10 +109,31 @@ pub fn partition_seq(tuples: &[Tuple], shift: u32, bits: u32) -> Partitioned {
     }
     let mut cursor: Vec<usize> = bounds[..f].to_vec();
     let mut data = vec![Tuple::default(); tuples.len()];
-    for t in tuples {
-        let p = partition_of(t.key, shift, bits);
-        data[cursor[p]] = *t;
-        cursor[p] += 1;
+    if kernel.is_simd() {
+        let mask32 = (f - 1) as u32;
+        let mut chunks = tuples.chunks_exact(HASH_BLOCK);
+        let mut keys = [0 as Key; HASH_BLOCK];
+        for block in &mut chunks {
+            for (k, t) in keys.iter_mut().zip(block) {
+                *k = t.key;
+            }
+            let parts = partition_batch8(kernel, &keys, shift, mask32);
+            for (t, &p) in block.iter().zip(parts.iter()) {
+                data[cursor[p]] = *t;
+                cursor[p] += 1;
+            }
+        }
+        for t in chunks.remainder() {
+            let p = partition_of(t.key, shift, bits);
+            data[cursor[p]] = *t;
+            cursor[p] += 1;
+        }
+    } else {
+        for t in tuples {
+            let p = partition_of(t.key, shift, bits);
+            data[cursor[p]] = *t;
+            cursor[p] += 1;
+        }
     }
     Partitioned { data, bounds }
 }
@@ -184,15 +247,54 @@ impl ScatterPlan {
     /// Scatter thread `tid`'s input chunk into the shared output.
     /// `chunk` must be exactly the slice whose histogram was `hists[tid]`.
     pub fn scatter_chunk(&self, chunk: &[Tuple], tid: usize, out: &SharedOut) {
+        self.scatter_chunk_kernel(chunk, tid, out, KernelBackend::Scalar)
+    }
+
+    /// [`ScatterPlan::scatter_chunk`] with a selectable derivation kernel:
+    /// under [`KernelBackend::Simd`] partition indices come 8 keys at a
+    /// time from the batched shift-and-mask kernel. The stores themselves
+    /// stay scalar (they are data-dependent scatters); output is
+    /// bitwise-identical across backends.
+    pub fn scatter_chunk_kernel(
+        &self,
+        chunk: &[Tuple],
+        tid: usize,
+        out: &SharedOut,
+        kernel: KernelBackend,
+    ) {
         let f = self.fanout;
         let mut cursor = self.starts[tid * f..(tid + 1) * f].to_vec();
-        for t in chunk {
-            let p = partition_of(t.key, self.shift, self.bits);
-            // SAFETY: cursor[p] walks starts[tid*f+p] .. +hists[tid][p]; the
-            // prefix sum makes those ranges disjoint across (tid, p) pairs
-            // and they tile 0..total().
-            unsafe { out.write(cursor[p], *t) };
-            cursor[p] += 1;
+        if kernel.is_simd() {
+            let mask32 = (f - 1) as u32;
+            let mut chunks = chunk.chunks_exact(HASH_BLOCK);
+            let mut keys = [0 as Key; HASH_BLOCK];
+            for block in &mut chunks {
+                for (k, t) in keys.iter_mut().zip(block) {
+                    *k = t.key;
+                }
+                let parts = partition_batch8(kernel, &keys, self.shift, mask32);
+                for (t, &p) in block.iter().zip(parts.iter()) {
+                    // SAFETY: same disjoint-range argument as the scalar
+                    // loop below — the derivation is identical bit math.
+                    unsafe { out.write(cursor[p], *t) };
+                    cursor[p] += 1;
+                }
+            }
+            for t in chunks.remainder() {
+                let p = partition_of(t.key, self.shift, self.bits);
+                // SAFETY: as above.
+                unsafe { out.write(cursor[p], *t) };
+                cursor[p] += 1;
+            }
+        } else {
+            for t in chunk {
+                let p = partition_of(t.key, self.shift, self.bits);
+                // SAFETY: cursor[p] walks starts[tid*f+p] .. +hists[tid][p];
+                // the prefix sum makes those ranges disjoint across (tid, p)
+                // pairs and they tile 0..total().
+                unsafe { out.write(cursor[p], *t) };
+                cursor[p] += 1;
+            }
         }
     }
 
@@ -212,15 +314,50 @@ impl ScatterPlan {
         out: &SharedOut,
         bufs: &mut crate::swwc::SwwcBuffers,
     ) {
+        self.scatter_chunk_swwc_kernel(chunk, tid, out, bufs, KernelBackend::Scalar)
+    }
+
+    /// [`ScatterPlan::scatter_chunk_swwc`] with a selectable derivation
+    /// kernel (see [`ScatterPlan::scatter_chunk_kernel`]); staging and
+    /// flush order are unchanged, so output stays bitwise-identical.
+    pub fn scatter_chunk_swwc_kernel(
+        &self,
+        chunk: &[Tuple],
+        tid: usize,
+        out: &SharedOut,
+        bufs: &mut crate::swwc::SwwcBuffers,
+        kernel: KernelBackend,
+    ) {
         assert_eq!(bufs.fanout(), self.fanout, "buffers sized for another plan");
         let f = self.fanout;
         let mut cursor = self.starts[tid * f..(tid + 1) * f].to_vec();
-        for t in chunk {
-            let p = partition_of(t.key, self.shift, self.bits);
-            // SAFETY: same disjointness argument as scatter_chunk — the
-            // staged line flushes into cursor[p]..cursor[p]+LINE, which
-            // stays within this (tid, p) range.
-            unsafe { bufs.stage(p, *t, &mut cursor, out) };
+        if kernel.is_simd() {
+            let mask32 = (f - 1) as u32;
+            let mut chunks = chunk.chunks_exact(HASH_BLOCK);
+            let mut keys = [0 as Key; HASH_BLOCK];
+            for block in &mut chunks {
+                for (k, t) in keys.iter_mut().zip(block) {
+                    *k = t.key;
+                }
+                let parts = partition_batch8(kernel, &keys, self.shift, mask32);
+                for (t, &p) in block.iter().zip(parts.iter()) {
+                    // SAFETY: same disjointness argument as the scalar loop.
+                    unsafe { bufs.stage(p, *t, &mut cursor, out) };
+                }
+            }
+            for t in chunks.remainder() {
+                let p = partition_of(t.key, self.shift, self.bits);
+                // SAFETY: as above.
+                unsafe { bufs.stage(p, *t, &mut cursor, out) };
+            }
+        } else {
+            for t in chunk {
+                let p = partition_of(t.key, self.shift, self.bits);
+                // SAFETY: same disjointness argument as scatter_chunk — the
+                // staged line flushes into cursor[p]..cursor[p]+LINE, which
+                // stays within this (tid, p) range.
+                unsafe { bufs.stage(p, *t, &mut cursor, out) };
+            }
         }
         // SAFETY: drains the partial tails within the same ranges.
         unsafe { bufs.flush(&mut cursor, out) };
@@ -699,6 +836,37 @@ mod tests {
         plan.scatter_chunk_swwc(b, 1, &out, &mut bufs);
         assert!(bufs.line_flushes() > 0, "full lines must have flushed");
         assert_eq!(out.into_vec(), partition_seq(&input, 0, 4).data);
+    }
+
+    /// The Simd derivation kernel is pure bit math: histograms, sequential
+    /// partitioning, and both scatter paths must be bitwise-identical to
+    /// the scalar loops across block-boundary sizes.
+    #[test]
+    fn simd_derivation_is_bitwise_identical() {
+        for n in [0usize, 1, 7, 8, 9, 16, 17, 1000, 4097] {
+            let input = random_tuples(n, 1 << 12, n as u64 + 3);
+            for (shift, bits) in [(0u32, 6u32), (4, 4), (6, 8)] {
+                let scalar_hist = histogram(&input, shift, bits);
+                let simd_hist = histogram_kernel(&input, shift, bits, KernelBackend::Simd);
+                assert_eq!(scalar_hist, simd_hist, "n={n} shift={shift} bits={bits}");
+
+                let scalar_part = partition_seq(&input, shift, bits);
+                let simd_part = partition_seq_kernel(&input, shift, bits, KernelBackend::Simd);
+                assert_eq!(scalar_part.bounds, simd_part.bounds);
+                assert_eq!(scalar_part.data, simd_part.data);
+
+                let plan =
+                    ScatterPlan::from_histograms(std::slice::from_ref(&scalar_hist), shift, bits);
+                let out = SharedOut::new(input.len());
+                plan.scatter_chunk_kernel(&input, 0, &out, KernelBackend::Simd);
+                assert_eq!(out.into_vec(), scalar_part.data, "direct scatter n={n}");
+
+                let out = SharedOut::new(input.len());
+                let mut bufs = crate::swwc::SwwcBuffers::new(plan.fanout);
+                plan.scatter_chunk_swwc_kernel(&input, 0, &out, &mut bufs, KernelBackend::Simd);
+                assert_eq!(out.into_vec(), scalar_part.data, "swwc scatter n={n}");
+            }
+        }
     }
 
     #[test]

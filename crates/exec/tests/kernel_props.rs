@@ -1,20 +1,61 @@
 //! Property-based tests of the kernel layer: the invariants every join
 //! algorithm silently relies on.
 
-use iawj_common::Tuple;
+use iawj_common::hash::{bucket_of, hash_key};
+use iawj_common::kernel::{hash_batch8, hash_keys_into, tuple_buckets_into, HASH_BLOCK};
+use iawj_common::{KernelBackend, Tuple};
 use iawj_exec::hashtable::{LocalTable, SharedTable};
 use iawj_exec::merge::{
     choose_splitters, kway_merge, kway_merge_loser, kway_merge_tagged, merge_two_into,
     merge_two_into_branchless, pairwise_merge, run_segment, splitter_bounds,
 };
 use iawj_exec::radix::{partition_two_pass, Partitioned};
-use iawj_exec::sort::{sort_packed, SortBackend};
+use iawj_exec::sort::{sort_packed, sort_packed_kernel, SortBackend};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn sorted(mut v: Vec<u64>) -> Vec<u64> {
     v.sort_unstable();
     v
+}
+
+/// The edge sizes the batched (8-wide) kernels must survive: empty input,
+/// sub-block, exact block, block+1, and a large non-multiple.
+const KERNEL_SIZES: &[usize] = &[0, 1, 7, 8, 9, 4097];
+
+/// Deterministic key stream. `skew` ~ Zipf theta: 0.0 draws near-uniform
+/// keys, 0.99 collapses the domain so duplicates are dense.
+fn keys_for(n: usize, seed: u64, skew: f64) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if skew > 0.5 {
+                (x % 17) as u32 // heavy duplication, like theta = 0.99
+            } else {
+                x as u32
+            }
+        })
+        .collect()
+}
+
+/// Deterministic packed-u64 stream for the sort kernels, same skew rule.
+fn packed_for(n: usize, seed: u64, skew: f64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if skew > 0.5 {
+                x % 17
+            } else {
+                x
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -98,6 +139,104 @@ proptest! {
             let mut expect = model.get(&key).cloned().unwrap_or_default();
             expect.sort_unstable();
             prop_assert_eq!(got, expect, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn hash_kernels_agree_with_scalar_hash(seed in any::<u64>()) {
+        for (&n, &skew) in KERNEL_SIZES.iter().flat_map(|n| [(n, &0.0f64), (n, &0.99)]) {
+            let keys = keys_for(n, seed, skew);
+            // Block-wise batched hash vs. the scalar reference, both backends.
+            for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                let mut out = vec![0u64; keys.len()];
+                hash_keys_into(backend, &keys, &mut out);
+                for (k, h) in keys.iter().zip(out.iter()) {
+                    prop_assert_eq!(*h, hash_key(*k), "{:?} n={}", backend, n);
+                }
+            }
+            for chunk in keys.chunks_exact(HASH_BLOCK) {
+                let block: [u32; HASH_BLOCK] = chunk.try_into().unwrap();
+                let scalar = hash_batch8(KernelBackend::Scalar, &block);
+                let simd = hash_batch8(KernelBackend::Simd, &block);
+                prop_assert_eq!(scalar, simd);
+                for (k, h) in block.iter().zip(scalar.iter()) {
+                    prop_assert_eq!(*h, hash_key(*k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_derivation_kernels_agree(seed in any::<u64>()) {
+        let mask = (1u64 << 10) - 1;
+        for (&n, &skew) in KERNEL_SIZES.iter().flat_map(|n| [(n, &0.0f64), (n, &0.99)]) {
+            let tuples: Vec<Tuple> = keys_for(n, seed, skew)
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Tuple::new(k, i as u32))
+                .collect();
+            let mut scalar = Vec::new();
+            let mut simd = Vec::new();
+            tuple_buckets_into(KernelBackend::Scalar, &tuples, mask, &mut scalar);
+            tuple_buckets_into(KernelBackend::Simd, &tuples, mask, &mut simd);
+            prop_assert_eq!(&scalar, &simd, "n={}", n);
+            for (t, &b) in tuples.iter().zip(scalar.iter()) {
+                prop_assert_eq!(b, bucket_of(t.key, mask));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetched_probe_matches_unprefetched(seed in any::<u64>()) {
+        for (&n, &skew) in KERNEL_SIZES.iter().flat_map(|n| [(n, &0.0f64), (n, &0.99)]) {
+            let tuples: Vec<Tuple> = keys_for(n, seed, skew)
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Tuple::new(k % 257, i as u32))
+                .collect();
+            let mut table = LocalTable::with_capacity(n.max(8));
+            // Prefetched batched build: derive buckets, prefetch ahead,
+            // insert through the *_at split APIs.
+            let mut buckets = Vec::new();
+            tuple_buckets_into(KernelBackend::Simd, &tuples, table.mask(), &mut buckets);
+            for (i, t) in tuples.iter().enumerate() {
+                if let Some(&ahead) = buckets.get(i + 4) {
+                    table.prefetch_bucket(ahead);
+                }
+                table.insert_at(buckets[i], t.key, t.ts);
+            }
+            // Reference: plain per-tuple build.
+            let mut plain = LocalTable::with_capacity(n.max(8));
+            for t in &tuples {
+                plain.insert(t.key, t.ts);
+            }
+            // Probe both ways for every key; multisets of payloads must match.
+            for probe_key in 0..257u32 {
+                let mut via_at = Vec::new();
+                let b = bucket_of(probe_key, table.mask());
+                table.prefetch_bucket(b);
+                table.probe_at(b, probe_key, |ts| via_at.push(ts));
+                let mut direct = Vec::new();
+                plain.probe(probe_key, |ts| direct.push(ts));
+                via_at.sort_unstable();
+                direct.sort_unstable();
+                prop_assert_eq!(via_at, direct, "key {} n={}", probe_key, n);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_sort_matches_sort_unstable(seed in any::<u64>()) {
+        for (&n, &skew) in KERNEL_SIZES.iter().flat_map(|n| [(n, &0.0f64), (n, &0.99)]) {
+            let data = packed_for(n, seed, skew);
+            let expect = sorted(data.clone());
+            for backend in [SortBackend::Scalar, SortBackend::Vectorized] {
+                for kernel in [KernelBackend::Scalar, KernelBackend::Simd] {
+                    let mut v = data.clone();
+                    sort_packed_kernel(&mut v, backend, kernel);
+                    prop_assert_eq!(&v, &expect, "{:?}/{:?} n={}", backend, kernel, n);
+                }
+            }
         }
     }
 

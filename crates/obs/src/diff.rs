@@ -246,6 +246,7 @@ mod tests {
             scheduler: "static".into(),
             scatter: "direct".into(),
             npj_table: "latch".into(),
+            kernel: "simd".into(),
             throughput_tpms: tpt,
             latency_p99_ms: p99,
             latency_max_ms: None,
@@ -337,8 +338,14 @@ mod tests {
         );
         let report = diff(&old, &new, DiffThresholds::default());
         assert!(!report.regressed());
-        assert_eq!(report.only_old, vec!["Rovio|PRJ|t4|static|direct|latch"]);
-        assert_eq!(report.only_new, vec!["Rovio|MWAY|t4|static|direct|latch"]);
+        assert_eq!(
+            report.only_old,
+            vec!["Rovio|PRJ|t4|static|direct|latch|simd"]
+        );
+        assert_eq!(
+            report.only_new,
+            vec!["Rovio|MWAY|t4|static|direct|latch|simd"]
+        );
         let rendered = report.render();
         assert!(rendered.contains("only in old snapshot"));
         assert!(rendered.contains("only in new snapshot"));

@@ -64,6 +64,8 @@ pub struct RunSnapshot {
     pub scatter: String,
     /// NPJ shared-table mode (`"latch"` / `"lockfree"`).
     pub npj_table: String,
+    /// Hot-loop kernel backend (`"scalar"` / `"simd"`).
+    pub kernel: String,
     /// Throughput in input tuples per stream-millisecond.
     pub throughput_tpms: f64,
     /// Exact 99th-percentile latency (stream-ms) from the histogram.
@@ -85,8 +87,14 @@ impl RunSnapshot {
     /// The identity two snapshots are matched on by `bench-diff`.
     pub fn key(&self) -> String {
         format!(
-            "{}|{}|t{}|{}|{}|{}",
-            self.workload, self.engine, self.threads, self.scheduler, self.scatter, self.npj_table
+            "{}|{}|t{}|{}|{}|{}|{}",
+            self.workload,
+            self.engine,
+            self.threads,
+            self.scheduler,
+            self.scatter,
+            self.npj_table,
+            self.kernel
         )
     }
 }
@@ -228,6 +236,7 @@ fn push_run(out: &mut String, r: &RunSnapshot) {
     out.push_str(&format!("\"scheduler\": {}, ", quote(&r.scheduler)));
     out.push_str(&format!("\"scatter\": {}, ", quote(&r.scatter)));
     out.push_str(&format!("\"npj_table\": {}, ", quote(&r.npj_table)));
+    out.push_str(&format!("\"kernel\": {}, ", quote(&r.kernel)));
     out.push_str(&format!(
         "\"throughput_tpms\": {}, ",
         num(r.throughput_tpms)
@@ -322,6 +331,13 @@ fn parse_run(r: &Json) -> Result<RunSnapshot, String> {
         scheduler: str_field("scheduler")?,
         scatter: str_field("scatter")?,
         npj_table: str_field("npj_table")?,
+        // Absent in snapshots written before the kernel knob existed;
+        // default to the runtime default so old baselines keep matching keys.
+        kernel: r
+            .get("kernel")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| "simd".into()),
         throughput_tpms: r
             .get("throughput_tpms")
             .and_then(Json::as_f64)
@@ -362,6 +378,7 @@ mod tests {
                     scheduler: "static".into(),
                     scatter: "direct".into(),
                     npj_table: "latch".into(),
+                    kernel: "simd".into(),
                     throughput_tpms: 812.5,
                     latency_p99_ms: Some(3.25),
                     latency_max_ms: Some(7.5),
@@ -381,6 +398,7 @@ mod tests {
                     scheduler: "steal".into(),
                     scatter: "swwc".into(),
                     npj_table: "latch".into(),
+                    kernel: "scalar".into(),
                     throughput_tpms: 1000.0,
                     latency_p99_ms: None,
                     latency_max_ms: None,
@@ -408,8 +426,8 @@ mod tests {
     #[test]
     fn keys_separate_configurations() {
         let snap = sample_snapshot();
-        assert_eq!(snap.runs[0].key(), "Rovio|NPJ|t4|static|direct|latch");
-        assert_eq!(snap.runs[1].key(), "Rovio|PRJ|t4|steal|swwc|latch");
+        assert_eq!(snap.runs[0].key(), "Rovio|NPJ|t4|static|direct|latch|simd");
+        assert_eq!(snap.runs[1].key(), "Rovio|PRJ|t4|steal|swwc|latch|scalar");
         assert_ne!(snap.runs[0].key(), snap.runs[1].key());
     }
 

@@ -172,6 +172,46 @@ fn differential_npj_tables_across_skew_threads_schedulers() {
     }
 }
 
+/// The scalar-vs-simd kernel differential harness guarding the batched
+/// hash/prefetch/sort paths: every studied engine under both kernel
+/// backends against the nested-loop oracle, asserting the exact sorted
+/// match set. θ=0.99 concentrates probes on hot buckets (stressing the
+/// prefetched probe pipeline); dupe=6 exercises duplicate-key chains in
+/// the batched build.
+#[test]
+fn differential_kernel_backends_across_skew_threads() {
+    use iawj_study::common::KernelBackend;
+    for seed in [71u64, 72] {
+        for theta in [0.0f64, 0.99] {
+            let ds = MicroSpec::static_counts(600, 600)
+                .dupe(6)
+                .skew_key(theta)
+                .seed(seed)
+                .generate();
+            let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+            for threads in [1usize, 4] {
+                for kernel in [KernelBackend::Scalar, KernelBackend::Simd] {
+                    for algo in Algorithm::STUDIED {
+                        let cfg = RunConfig::with_threads(threads)
+                            .record_all()
+                            .speedup(500.0)
+                            .morsel_size(64)
+                            .kernel(kernel)
+                            .prefetch_dist(4);
+                        let result = execute(algo, &ds, &cfg);
+                        assert_eq!(
+                            canonical(&result),
+                            expect,
+                            "{algo} diverged (seed={seed} θ={theta} \
+                             threads={threads} kernel={kernel})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn handshake_strawman_exact() {
     let ds = MicroSpec::static_counts(500, 500)
