@@ -52,10 +52,12 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 impl BenchEnv {
     /// Read `IAWJ_SCALE` / `IAWJ_SPEEDUP` / `IAWJ_THREADS`.
+    ///
+    /// The thread default honours the affinity mask (cgroup/taskset), not
+    /// the machine's core count — a harness restricted to two cores must
+    /// not silently timeshare eight workers.
     pub fn from_env() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let cores = iawj_exec::affinity_core_count().max(1);
         BenchEnv {
             scale: env_f64("IAWJ_SCALE", 0.01),
             speedup: env_f64("IAWJ_SPEEDUP", 25.0),

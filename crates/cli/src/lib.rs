@@ -79,7 +79,13 @@ WORKLOAD OPTIONS (all subcommands):
 
 RUN OPTIONS (run, sweep, trace):
   --algo NAME        NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE
-  --threads N        worker threads (default 4)
+  --threads N        worker threads (default 4, capped to the affinity mask;
+                     oversubscribing the mask warns)
+  --executor MODE    worker provisioning: pool (persistent parked workers,
+                     the default) | spawn (fresh threads per run)
+  --pin POLICY       pool worker placement: none|compact|scatter (default
+                     none; compact packs SMT siblings and NUMA nodes,
+                     scatter round-robins across nodes)
   --speedup F        stream-time compression (default 25)
   --sample-every N   match sampling rate (default 64)
   --delta F          PMJ sorting step size (default 0.2)
@@ -248,7 +254,9 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
 fn cmd_recommend(args: &Args) -> Result<String, ArgError> {
     args.check_known(&allowed(&["objective", "calibrate", "cores"]))?;
     let ds = build_dataset(args)?;
-    let cores: usize = args.get_or("cores", 8)?;
+    // Calibration bands scale with the cores this process can actually
+    // run on — the affinity-mask cardinality, not the machine.
+    let cores: usize = args.get_or("cores", iawj_exec::affinity_core_count().max(1))?;
     let objective = match args.get_or("objective", "throughput".to_string())?.as_str() {
         "throughput" => Objective::Throughput,
         "latency" => Objective::Latency,

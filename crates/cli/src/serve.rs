@@ -9,7 +9,7 @@
 //! a `{"type":"stream",...}` JSONL line followed by a summary line.
 
 use crate::args::{ArgError, Args};
-use crate::workload::parse_algorithm;
+use crate::workload::{apply_exec_opts, parse_algorithm, warn_if_oversubscribed};
 use iawj_common::spsc::stream_channel;
 use iawj_core::streaming::{spawn_source, StreamConfig, StreamReport, StreamingJoin};
 use iawj_core::windowing::WindowSpec;
@@ -82,7 +82,8 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let tick_ms = require_positive_finite("tick-ms", args.get_or("tick-ms", 250.0)?)?;
     let rate_r = require_positive_finite("rate-r", args.get_or("rate-r", 100.0)?)?;
     let rate_s = require_positive_finite("rate-s", args.get_or("rate-s", 100.0)?)?;
-    let threads: usize = args.get_or("threads", 2)?;
+    let threads: usize = args.get_or("threads", 2.min(iawj_exec::affinity_core_count().max(1)))?;
+    warn_if_oversubscribed(threads);
     if duration_ms == 0 {
         return Err(ArgError::Invalid {
             key: "duration-ms".into(),
@@ -112,10 +113,12 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         seed: args.get_or("seed", 42)?,
     };
     let ds = micro.generate();
+    let mut run = RunConfig::with_threads(threads);
+    apply_exec_opts(args, &mut run)?;
     let cfg = StreamConfig::new(spec, algo)
         .lateness(lateness)
         .share_panes(!args.flag("no-share"))
-        .run_config(RunConfig::with_threads(threads))
+        .run_config(run)
         .tick_every_ms(tick_ms);
 
     let (tx_r, rx_r) = stream_channel(queue_cap);

@@ -2,9 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use iawj_common::KernelBackend;
-use iawj_core::{Algorithm, NpjTable, RunConfig, ScatterMode, Scheduler};
+use iawj_core::{Algorithm, ExecMode, NpjTable, PinPolicy, RunConfig, ScatterMode, Scheduler};
 use iawj_datagen::{debs, rovio, stock, ysb, Dataset, MicroSpec};
-use iawj_exec::SortBackend;
+use iawj_exec::{affinity_core_count, SortBackend};
 
 /// Options shared by every dataset-consuming subcommand.
 pub const WORKLOAD_OPTS: &[&str] = &[
@@ -28,6 +28,8 @@ pub const RUN_OPTS: &[&str] = &[
     "npj-table",
     "kernel",
     "prefetch-dist",
+    "executor",
+    "pin",
     "json",
     "perf",
     "trace-out",
@@ -146,10 +148,52 @@ fn load_csv_dataset(args: &Args) -> Result<Dataset, ArgError> {
     })
 }
 
+/// Default `--threads`: 4, bounded by the cores this process may actually
+/// use (the affinity-mask cardinality, not the machine's core count).
+pub fn default_threads() -> usize {
+    4.min(affinity_core_count().max(1))
+}
+
+/// Warn (don't reject) when `threads` exceeds the affinity mask:
+/// oversubscription is a legitimate experiment, but silent timesharing
+/// corrupts scalability readings.
+pub fn warn_if_oversubscribed(threads: usize) {
+    let avail = affinity_core_count();
+    if threads > avail {
+        eprintln!(
+            "warning: --threads {threads} oversubscribes the {avail}-core affinity mask; \
+             workers will timeshare"
+        );
+    }
+}
+
+/// Apply `--executor` / `--pin` to a run configuration. Shared by every
+/// subcommand that executes joins so the knobs mean the same thing in
+/// one-shot runs and the streaming service.
+pub fn apply_exec_opts(args: &Args, cfg: &mut RunConfig) -> Result<(), ArgError> {
+    if let Some(v) = args.get("executor") {
+        cfg.exec.mode = v.parse::<ExecMode>().map_err(|_| ArgError::Invalid {
+            key: "executor".into(),
+            value: v.into(),
+            expected: "spawn|pool",
+        })?;
+    }
+    if let Some(v) = args.get("pin") {
+        cfg.exec.pin = v.parse::<PinPolicy>().map_err(|_| ArgError::Invalid {
+            key: "pin".into(),
+            value: v.into(),
+            expected: "none|compact|scatter",
+        })?;
+    }
+    Ok(())
+}
+
 /// Build a run configuration from CLI options.
 pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
-    let mut cfg =
-        RunConfig::with_threads(args.get_or("threads", 4)?).speedup(args.get_or("speedup", 25.0)?);
+    let mut cfg = RunConfig::with_threads(args.get_or("threads", default_threads())?)
+        .speedup(args.get_or("speedup", 25.0)?);
+    warn_if_oversubscribed(cfg.threads);
+    apply_exec_opts(args, &mut cfg)?;
     cfg.sample_every = args.get_or("sample-every", 64)?;
     cfg.pmj.delta = args.get_or("delta", cfg.pmj.delta)?;
     cfg.prj.radix_bits = args.get_or("radix-bits", cfg.prj.radix_bits)?;
@@ -319,6 +363,29 @@ mod tests {
         let cfg = build_config(&parse("--trace-out /tmp/t.json")).unwrap();
         assert!(cfg.journal);
         assert!(!cfg.perf);
+    }
+
+    #[test]
+    fn executor_and_pin_knobs() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert_eq!(cfg.exec.mode, ExecMode::Pool);
+        assert_eq!(cfg.exec.pin, PinPolicy::None);
+        let cfg = build_config(&parse("--executor spawn")).unwrap();
+        assert_eq!(cfg.exec.mode, ExecMode::Spawn);
+        let cfg = build_config(&parse("--executor pool --pin compact")).unwrap();
+        assert_eq!(cfg.exec.mode, ExecMode::Pool);
+        assert_eq!(cfg.exec.pin, PinPolicy::Compact);
+        let cfg = build_config(&parse("--pin scatter")).unwrap();
+        assert_eq!(cfg.exec.pin, PinPolicy::Scatter);
+        assert!(build_config(&parse("--executor rayon")).is_err());
+        assert!(build_config(&parse("--pin numa")).is_err());
+    }
+
+    #[test]
+    fn default_threads_respects_affinity_mask() {
+        let d = default_threads();
+        assert!(d >= 1 && d <= 4);
+        assert!(d <= affinity_core_count().max(1));
     }
 
     #[test]

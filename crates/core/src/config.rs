@@ -3,7 +3,19 @@
 
 use iawj_common::{KernelBackend, DEFAULT_PREFETCH_DIST};
 use iawj_exec::morsel::{MorselQueue, DEFAULT_MORSEL};
-use iawj_exec::{NpjTable, ScatterMode, Scheduler, SortBackend};
+use iawj_exec::{ExecMode, Executor, NpjTable, PinPolicy, ScatterMode, Scheduler, SortBackend};
+
+/// Executor knobs: how worker threads are provisioned and placed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker provisioning: fresh scoped threads per run (`spawn`, the seed
+    /// behaviour) or a persistent parked pool reused across runs (`pool`,
+    /// the default).
+    pub mode: ExecMode,
+    /// Core-placement policy for pool workers (`none` leaves the OS
+    /// scheduler in charge; `compact`/`scatter` pin via `sched_setaffinity`).
+    pub pin: PinPolicy,
+}
 
 /// Batched-kernel knobs (Fig. 21's scalar-vs-SIMD A/B switch).
 #[derive(Clone, Copy, Debug)]
@@ -190,6 +202,8 @@ pub struct RunConfig {
     /// cache/TLB misses, branch mispredicts) per phase on every worker.
     /// Degrades silently to zero counters when the kernel refuses.
     pub perf: bool,
+    /// Executor knobs (worker provisioning + core placement).
+    pub exec: ExecConfig,
     /// Work-distribution knobs (scheduler + morsel size).
     pub sched: SchedConfig,
     /// Batched-kernel knobs (scalar/SIMD switch + prefetch distance).
@@ -219,6 +233,7 @@ impl Default for RunConfig {
             journal: false,
             journal_capacity: 1 << 14,
             perf: false,
+            exec: ExecConfig::default(),
             sched: SchedConfig::default(),
             kernel: KernelConfig::default(),
             npj: NpjConfig::default(),
@@ -267,6 +282,18 @@ impl RunConfig {
     /// Builder: enable per-phase hardware-counter sampling.
     pub fn with_perf(mut self) -> Self {
         self.perf = true;
+        self
+    }
+
+    /// Builder: select the executor mode (spawn-per-run vs persistent pool).
+    pub fn executor(mut self, mode: ExecMode) -> Self {
+        self.exec.mode = mode;
+        self
+    }
+
+    /// Builder: select the core-placement policy for pool workers.
+    pub fn pin(mut self, pin: PinPolicy) -> Self {
+        self.exec.pin = pin;
         self
     }
 
@@ -327,6 +354,16 @@ impl RunConfig {
                 .into());
         }
         Ok(())
+    }
+
+    /// Build the executor this config asks for: a persistent pool sized to
+    /// `threads` under the configured placement policy, or a spawn-mode
+    /// shim that delegates every run to fresh scoped threads. Callers that
+    /// run many joins (benchmarks, the streaming service) should build one
+    /// executor and pass it to [`crate::execute_on`] instead of paying
+    /// pool construction per run.
+    pub fn make_executor(&self) -> Executor {
+        Executor::new(self.exec.mode, self.exec.pin, self.threads)
     }
 
     /// A journal for one worker, relative to `epoch`: ring-buffered at
@@ -499,6 +536,29 @@ mod tests {
         let q = c.sched.queue(100, 4);
         assert_eq!((q.len(), q.workers()), (100, 4));
         assert_eq!(c.sched.item_queue(16, 4).morsel(), 1);
+    }
+
+    #[test]
+    fn exec_defaults_to_unpinned_pool() {
+        let c = RunConfig::default();
+        assert_eq!(c.exec.mode, ExecMode::Pool);
+        assert_eq!(c.exec.pin, PinPolicy::None);
+        let c = c.executor(ExecMode::Spawn).pin(PinPolicy::Compact);
+        assert_eq!(c.exec.mode, ExecMode::Spawn);
+        assert_eq!(c.exec.pin, PinPolicy::Compact);
+    }
+
+    #[test]
+    fn make_executor_matches_config() {
+        let exec = RunConfig::with_threads(3).make_executor();
+        assert_eq!(exec.mode(), ExecMode::Pool);
+        assert_eq!(exec.capacity(), 3);
+        let results = exec.run(3, |tid| tid * 10);
+        assert_eq!(results, vec![0, 10, 20]);
+        let spawn = RunConfig::with_threads(2)
+            .executor(ExecMode::Spawn)
+            .make_executor();
+        assert_eq!(spawn.mode(), ExecMode::Spawn);
     }
 
     #[test]

@@ -19,15 +19,28 @@ use iawj_exec::merge::{
 use iawj_exec::morsel::{for_each_morsel, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed_kernel, SortBackend};
-use iawj_exec::{run_workers, Latch};
+use iawj_exec::{Executor, Latch};
 
-/// Run MPass.
+/// Run MPass. Convenience wrapper over [`run_on`] that builds the executor
+/// [`RunConfig`] asks for.
 pub fn run(
     r: &[Tuple],
     s: &[Tuple],
     cfg: &RunConfig,
     clock: &EventClock,
     arrive_by: Ts,
+) -> Vec<WorkerOut> {
+    run_on(r, s, cfg, clock, arrive_by, &cfg.make_executor())
+}
+
+/// Run MPass on an existing executor (reused across runs / window closes).
+pub fn run_on(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+    exec: &Executor,
 ) -> Vec<WorkerOut> {
     let threads = cfg.threads;
     let stealing = cfg.sched.stealing();
@@ -48,7 +61,7 @@ pub fn run(
     let publish_done = barrier(threads);
     let split_done = barrier(threads);
 
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
         let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);

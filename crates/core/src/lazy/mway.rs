@@ -15,7 +15,7 @@ use iawj_exec::merge::{choose_splitters, kway_merge_loser, splitter_bounds};
 use iawj_exec::morsel::{for_each_morsel, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::sort::{pack_tuples, sort_packed_kernel};
-use iawj_exec::{run_workers, PhaseTimer};
+use iawj_exec::{Executor, PhaseTimer};
 
 /// How many splitter ranges steal mode requests per worker: over-splitting
 /// the key space is what gives thieves something to take when one range
@@ -47,13 +47,26 @@ pub(crate) fn segment<'a>(run: &'a [u64], bounds: &[(u64, u64)], i: usize) -> &'
     }
 }
 
-/// Run MWay.
+/// Run MWay. Convenience wrapper over [`run_on`] that builds the executor
+/// [`RunConfig`] asks for.
 pub fn run(
     r: &[Tuple],
     s: &[Tuple],
     cfg: &RunConfig,
     clock: &EventClock,
     arrive_by: Ts,
+) -> Vec<WorkerOut> {
+    run_on(r, s, cfg, clock, arrive_by, &cfg.make_executor())
+}
+
+/// Run MWay on an existing executor (reused across runs / window closes).
+pub fn run_on(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+    exec: &Executor,
 ) -> Vec<WorkerOut> {
     let threads = cfg.threads;
     let stealing = cfg.sched.stealing();
@@ -69,7 +82,7 @@ pub fn run(
     let sorted = barrier(threads);
     let split_done = barrier(threads);
 
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
         let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);

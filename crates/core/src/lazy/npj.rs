@@ -16,7 +16,7 @@ use crate::output::WorkerOut;
 use iawj_common::kernel::tuple_buckets_into;
 use iawj_common::{KernelBackend, Phase, Sink, Ts, Tuple};
 use iawj_exec::pool::{barrier, chunk_range};
-use iawj_exec::{run_workers, LockFreeTable, NpjTable, SharedTable, StripedTable};
+use iawj_exec::{Executor, LockFreeTable, NpjTable, SharedTable, StripedTable};
 use iawj_obs::{MARK_CAS_RETRY, MARK_LATCH_WAIT};
 
 /// The shared table behind NPJ, with the scheme chosen by
@@ -31,8 +31,15 @@ enum Table {
 }
 
 impl Table {
-    fn build(expected: usize, cfg: &RunConfig) -> Self {
+    /// Build the shared table. With `first_touch` the lock-free table is
+    /// allocated untouched (zeroed, lazily mapped pages) so the workers can
+    /// fault its memory onto their own NUMA nodes before the build; the
+    /// latched tables have non-zero headers and always initialise eagerly.
+    fn build(expected: usize, cfg: &RunConfig, first_touch: bool) -> Self {
         match (cfg.npj.table, cfg.npj.striped_latches) {
+            (NpjTable::LockFree, _) if first_touch => {
+                Table::LockFree(LockFreeTable::with_capacity_untouched(expected))
+            }
             (NpjTable::LockFree, _) => Table::LockFree(LockFreeTable::with_capacity(expected)),
             (NpjTable::Latch, Some(stripes)) => {
                 Table::Striped(StripedTable::with_capacity(expected, stripes))
@@ -187,7 +194,8 @@ fn probe_batched(
 }
 
 /// Run NPJ. `arrive_by` is the arrival timestamp of the window's last
-/// tuple; the lazy approach waits for it before starting.
+/// tuple; the lazy approach waits for it before starting. Convenience
+/// wrapper over [`run_on`] that builds the executor [`RunConfig`] asks for.
 pub fn run(
     r: &[Tuple],
     s: &[Tuple],
@@ -195,13 +203,31 @@ pub fn run(
     clock: &EventClock,
     arrive_by: Ts,
 ) -> Vec<WorkerOut> {
+    run_on(r, s, cfg, clock, arrive_by, &cfg.make_executor())
+}
+
+/// Run NPJ on an existing executor (reused across runs / window closes).
+pub fn run_on(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+    exec: &Executor,
+) -> Vec<WorkerOut> {
     let threads = cfg.threads;
-    let table = Table::build(r.len(), cfg);
+    // With pinned workers the lock-free table defers page placement: it is
+    // allocated zeroed (lazily mapped) and each worker faults + initialises
+    // its own share below, so table memory lands on the workers' NUMA
+    // nodes instead of wherever the coordinating thread happens to run.
+    let first_touch = exec.pinned() && cfg.npj.table == NpjTable::LockFree;
+    let table = Table::build(r.len(), cfg, first_touch);
+    let touch_done = barrier(threads);
     let build_done = barrier(threads);
     let stealing = cfg.sched.stealing();
     let build_q = cfg.sched.queue(r.len(), threads);
     let probe_q = cfg.sched.queue(s.len(), threads);
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
         let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);
@@ -213,6 +239,15 @@ pub fn run(
         // morsel ranges so the Simd path allocates once per worker.
         let mut buckets: Vec<usize> = Vec::new();
         timer.switch_to(Phase::BuildSort);
+        if first_touch {
+            if let Table::LockFree(t) = &table {
+                // SAFETY: every tid initialises its disjoint share, and the
+                // barrier orders all touches before the first insert.
+                unsafe { t.first_touch(tid, threads) };
+            }
+            touch_done.wait();
+            timer.instant("barrier:first_touch_done");
+        }
         if stealing {
             // The scan owns the timer, so contention events accumulate in a
             // counter and flush to the journal when the phase ends (their

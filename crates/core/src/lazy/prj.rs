@@ -18,7 +18,7 @@ use iawj_exec::morsel::{for_each_morsel, MorselQueue, MARK_CLAIM, MARK_STEAL};
 use iawj_exec::pool::{barrier, chunk_range};
 use iawj_exec::radix::{histogram_kernel, partition_seq_kernel, ScatterPlan, SharedOut};
 use iawj_exec::swwc::{ScatterMode, SwwcBuffers, MARK_FLUSH};
-use iawj_exec::{run_workers, LocalTable, PhaseTimer};
+use iawj_exec::{Executor, LocalTable, PhaseTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Fixed morsel grid used by the steal-mode partition pass: cell `g` of an
@@ -37,13 +37,26 @@ fn grid_cells(len: usize, m: usize) -> usize {
     len.div_ceil(m).max(1)
 }
 
-/// Run PRJ.
+/// Run PRJ. Convenience wrapper over [`run_on`] that builds the executor
+/// [`RunConfig`] asks for.
 pub fn run(
     r: &[Tuple],
     s: &[Tuple],
     cfg: &RunConfig,
     clock: &EventClock,
     arrive_by: Ts,
+) -> Vec<WorkerOut> {
+    run_on(r, s, cfg, clock, arrive_by, &cfg.make_executor())
+}
+
+/// Run PRJ on an existing executor (reused across runs / window closes).
+pub fn run_on(
+    r: &[Tuple],
+    s: &[Tuple],
+    cfg: &RunConfig,
+    clock: &EventClock,
+    arrive_by: Ts,
+    exec: &Executor,
 ) -> Vec<WorkerOut> {
     let threads = cfg.threads;
     let bits_total = cfg.prj.radix_bits.max(1);
@@ -78,7 +91,11 @@ pub fn run(
     let fanout1 = 1usize << bits1;
     let join_q = cfg.sched.item_queue(fanout1, threads);
 
-    run_workers(threads, |tid| {
+    // With pinned workers the partition arenas use first-touch allocation:
+    // zeroed, lazily mapped pages that each scattering worker faults onto
+    // its own NUMA node by pre-touching exactly the slot it scatters.
+    let first_touch = exec.pinned();
+    exec.run(threads, |tid| {
         let mut out = WorkerOut::new(cfg.sample_every);
         let mut timer = cfg.timer_for(Phase::Wait, clock.epoch());
         clock.wait_until(arrive_by);
@@ -129,8 +146,14 @@ pub fn run(
             };
             let rp = ScatterPlan::from_histograms(&rh, 0, bits1);
             let sp = ScatterPlan::from_histograms(&sh, 0, bits1);
-            let ro = SharedOut::new(r.len());
-            let so = SharedOut::new(s.len());
+            let (ro, so) = if first_touch {
+                (
+                    SharedOut::new_first_touch(r.len()),
+                    SharedOut::new_first_touch(s.len()),
+                )
+            } else {
+                (SharedOut::new(r.len()), SharedOut::new(s.len()))
+            };
             plans.set(0, (rp, ro, sp, so));
         }
         plan_done.wait();
@@ -148,6 +171,11 @@ pub fn run(
             steal_scan(&r_scatter_q, tid, &mut timer, |cells| {
                 for g in cells {
                     let c = &r[grid_chunk(r.len(), morsel, g)];
+                    if first_touch {
+                        // SAFETY: cell `g` is exactly the region this worker
+                        // scatters next — toucher and writer are one thread.
+                        unsafe { r_plan.touch_chunk(g, r_out) };
+                    }
                     match &mut wc {
                         Some((rb, _)) => r_plan.scatter_chunk_swwc_kernel(c, g, r_out, rb, kernel),
                         None => r_plan.scatter_chunk_kernel(c, g, r_out, kernel),
@@ -157,6 +185,10 @@ pub fn run(
             steal_scan(&s_scatter_q, tid, &mut timer, |cells| {
                 for g in cells {
                     let c = &s[grid_chunk(s.len(), morsel, g)];
+                    if first_touch {
+                        // SAFETY: as above — same thread touches then writes.
+                        unsafe { s_plan.touch_chunk(g, s_out) };
+                    }
                     match &mut wc {
                         Some((_, sb)) => s_plan.scatter_chunk_swwc_kernel(c, g, s_out, sb, kernel),
                         None => s_plan.scatter_chunk_kernel(c, g, s_out, kernel),
@@ -164,6 +196,14 @@ pub fn run(
                 }
             });
         } else {
+            if first_touch {
+                // SAFETY: slot `tid` is exactly the region this worker is
+                // about to scatter — toucher and writer are the same thread.
+                unsafe {
+                    r_plan.touch_chunk(tid, r_out);
+                    s_plan.touch_chunk(tid, s_out);
+                }
+            }
             match &mut wc {
                 Some((rb, sb)) => {
                     r_plan.scatter_chunk_swwc_kernel(

@@ -44,8 +44,8 @@ pub mod windowing;
 
 pub use algo::Algorithm;
 pub use clock::EventClock;
-pub use config::{RunConfig, SchedConfig};
-pub use iawj_exec::{NpjTable, ScatterMode, Scheduler};
+pub use config::{ExecConfig, RunConfig, SchedConfig};
+pub use iawj_exec::{ExecMode, Executor, NpjTable, PinPolicy, ScatterMode, Scheduler};
 pub use output::RunResult;
-pub use runner::execute;
+pub use runner::{execute, execute_on};
 pub use streaming::{run_replay, ClosedWindow, StreamConfig, StreamReport, StreamingJoin};

@@ -4,7 +4,7 @@ use crate::algo::Algorithm;
 use iawj_common::{CountingSink, MatchRecord, PhaseBreakdown, PhaseCounters, Sink};
 use iawj_exec::TimerParts;
 use iawj_obs::perf::CounterSource;
-use iawj_obs::{chrome_trace, LogHistogram, SpanJournal};
+use iawj_obs::{chrome_trace_with_cores, LogHistogram, SpanJournal};
 
 /// Everything one worker thread produces.
 #[derive(Debug)]
@@ -22,6 +22,9 @@ pub struct WorkerOut {
     /// This worker's span journal (disabled and empty unless the run
     /// config enabled journaling).
     pub journal: Option<SpanJournal>,
+    /// CPU the worker was last observed on (`None` when the platform
+    /// exposes no `getcpu`, or in spawn mode where threads are unplaced).
+    pub core_id: Option<usize>,
 }
 
 impl WorkerOut {
@@ -34,6 +37,7 @@ impl WorkerOut {
             counter_source: CounterSource::Unavailable,
             mem_samples: Vec::new(),
             journal: None,
+            core_id: None,
         }
     }
 
@@ -83,6 +87,9 @@ pub struct RunResult {
     /// Per-worker span journals, `(worker, journal)`, present only when
     /// the run journaled.
     pub journals: Vec<(usize, SpanJournal)>,
+    /// CPU each worker was last observed on, indexed by worker id (`None`
+    /// entries where placement was unknown).
+    pub core_ids: Vec<Option<usize>>,
     /// Memory samples merged from all workers, sorted by time. Each entry
     /// is `(stream_ms, worker, bytes)`; aggregate consumption at time t is
     /// the sum over workers of each worker's latest reading before t (see
@@ -128,7 +135,9 @@ impl RunResult {
         let mut mem_samples: Vec<(f64, usize, usize)> = Vec::new();
         let mut hist = LogHistogram::new();
         let mut journals = Vec::new();
+        let mut core_ids = Vec::with_capacity(threads);
         for (wid, w) in workers.into_iter().enumerate() {
+            core_ids.push(w.core_id);
             matches += w.sink.count();
             last_emit_ms = last_emit_ms.max(w.sink.last_emit_ms);
             hist.merge(&w.sink.hist);
@@ -161,16 +170,21 @@ impl RunResult {
             per_thread,
             hist,
             journals,
+            core_ids,
             mem_samples,
         }
     }
 
     /// Render the run's span journals as a Chrome-trace JSON document (one
-    /// lane per worker). Empty trace when the run did not journal.
+    /// lane per worker, labelled with the CPU the worker was observed on
+    /// when placement is known). Empty trace when the run did not journal.
     pub fn chrome_trace(&self) -> String {
-        let lanes: Vec<(usize, &SpanJournal)> =
-            self.journals.iter().map(|(wid, j)| (*wid, j)).collect();
-        chrome_trace(&lanes)
+        let lanes: Vec<(usize, Option<usize>, &SpanJournal)> = self
+            .journals
+            .iter()
+            .map(|(wid, j)| (*wid, self.core_ids.get(*wid).copied().flatten(), j))
+            .collect();
+        chrome_trace_with_cores(&lanes)
     }
 
     /// Throughput in input tuples per stream millisecond — total inputs

@@ -13,7 +13,7 @@ use crate::lazy;
 use crate::output::{RunResult, WorkerOut};
 use iawj_common::Ts;
 use iawj_datagen::Dataset;
-use iawj_exec::run_workers;
+use iawj_exec::Executor;
 
 /// Execute `algorithm` over `dataset` under `cfg`.
 ///
@@ -45,6 +45,39 @@ pub fn execute(algorithm: Algorithm, dataset: &Dataset, cfg: &RunConfig) -> RunR
     if algorithm.needs_pow2_threads() && !cfg.threads.is_power_of_two() {
         cfg.threads = prev_pow2(cfg.threads);
     }
+    let exec = cfg.make_executor();
+    execute_with(algorithm, dataset, &cfg, &exec)
+}
+
+/// [`execute`] on a caller-provided executor, so repeated runs (benchmark
+/// sweeps, the streaming service's window closes) reuse one worker pool —
+/// and one set of pinned cores — instead of provisioning threads per run.
+/// The executor should have capacity for `cfg.threads` workers; runs that
+/// need more fall back to spawning scoped threads for that run only.
+pub fn execute_on(
+    algorithm: Algorithm,
+    dataset: &Dataset,
+    cfg: &RunConfig,
+    exec: &Executor,
+) -> RunResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RunConfig: {e}");
+    }
+    let mut cfg = cfg.clone();
+    if algorithm.needs_pow2_threads() && !cfg.threads.is_power_of_two() {
+        cfg.threads = prev_pow2(cfg.threads);
+    }
+    execute_with(algorithm, dataset, &cfg, exec)
+}
+
+/// Shared tail of [`execute`]/[`execute_on`]: `cfg` is validated and its
+/// thread count already satisfies the algorithm's power-of-two rule.
+fn execute_with(
+    algorithm: Algorithm,
+    dataset: &Dataset,
+    cfg: &RunConfig,
+    exec: &Executor,
+) -> RunResult {
     let gated = !dataset.is_static();
     let clock = EventClock::start(cfg.speedup, gated);
     // The lazy approach starts once the window's last tuple has arrived.
@@ -55,8 +88,11 @@ pub fn execute(algorithm: Algorithm, dataset: &Dataset, cfg: &RunConfig) -> RunR
         .unwrap_or(0)
         .max(dataset.s.last().map(|t| t.ts).unwrap_or(0));
 
-    let workers = run_algorithm(algorithm, dataset, &cfg, &clock, arrive_by);
+    let mut workers = run_algorithm(algorithm, dataset, cfg, &clock, arrive_by, exec);
     let elapsed_ms = clock.now_ms();
+    for (tid, w) in workers.iter_mut().enumerate() {
+        w.core_id = exec.observed_core(tid);
+    }
     RunResult::merge(
         algorithm,
         dataset.total_inputs(),
@@ -80,18 +116,22 @@ fn run_algorithm(
     cfg: &RunConfig,
     clock: &EventClock,
     arrive_by: Ts,
+    exec: &Executor,
 ) -> Vec<WorkerOut> {
     let r = ds.r.as_slice();
     let s = ds.s.as_slice();
     match algorithm {
-        Algorithm::Npj => lazy::npj::run(r, s, cfg, clock, arrive_by),
-        Algorithm::Prj => lazy::prj::run(r, s, cfg, clock, arrive_by),
-        Algorithm::MWay => lazy::mway::run(r, s, cfg, clock, arrive_by),
-        Algorithm::MPass => lazy::mpass::run(r, s, cfg, clock, arrive_by),
+        Algorithm::Npj => lazy::npj::run_on(r, s, cfg, clock, arrive_by, exec),
+        Algorithm::Prj => lazy::prj::run_on(r, s, cfg, clock, arrive_by, exec),
+        Algorithm::MWay => lazy::mway::run_on(r, s, cfg, clock, arrive_by, exec),
+        Algorithm::MPass => lazy::mpass::run_on(r, s, cfg, clock, arrive_by, exec),
+        // Handshake owns its pipeline topology (a ring of channel-connected
+        // cores fed by the caller) and is the §6 strawman, not one of the
+        // eight studied engines — it keeps per-run scoped threads.
         Algorithm::Handshake => handshake::run(r, s, cfg, clock, arrive_by),
         Algorithm::ShjJm | Algorithm::PmjJm | Algorithm::HybridShj => {
             let (rows, cols) = cfg.jm_shape();
-            run_workers(cfg.threads, |w| {
+            exec.run(cfg.threads, |w| {
                 let (rv, sv) = jm::worker_views(r, s, rows, cols, w);
                 // Per-worker expected load: its stripe of each stream.
                 let exp_r = r.len() / rows + 1;
@@ -122,7 +162,7 @@ fn run_algorithm(
         Algorithm::ShjJb | Algorithm::PmjJb => {
             let g = cfg.jb_group_size();
             let groups = cfg.threads / g;
-            run_workers(cfg.threads, |w| {
+            exec.run(cfg.threads, |w| {
                 let (rv, sv) = jb::worker_views(r, s, cfg.threads, g, w);
                 // R is partitioned across the whole matrix of workers; S is
                 // replicated within the group (so a worker holds 1/groups
@@ -281,6 +321,62 @@ mod tests {
         cfg.jm.physical_partition = true;
         let result = execute(Algorithm::ShjJm, &ds, &cfg);
         assert_eq!(result.matches, expect);
+    }
+
+    #[test]
+    fn pool_executor_is_bitwise_identical_to_spawn() {
+        use iawj_exec::ExecMode;
+        let ds = small_static();
+        for algo in Algorithm::STUDIED {
+            let collect = |mode: ExecMode| {
+                let cfg = RunConfig::with_threads(4).record_all().executor(mode);
+                let result = execute(algo, &ds, &cfg);
+                let mut got: Vec<_> = result
+                    .samples
+                    .iter()
+                    .map(|m| (m.key, m.r_ts, m.s_ts))
+                    .collect();
+                got.sort_unstable();
+                (result.matches, got)
+            };
+            assert_eq!(
+                collect(ExecMode::Spawn),
+                collect(ExecMode::Pool),
+                "{algo} diverged between executors"
+            );
+        }
+    }
+
+    #[test]
+    fn one_executor_serves_many_runs_and_algorithms() {
+        let ds = small_static();
+        let cfg = RunConfig::with_threads(4).record_all();
+        let exec = cfg.make_executor();
+        let expect = match_count(&ds.r, &ds.s, ds.window);
+        for _ in 0..3 {
+            for algo in [
+                Algorithm::Npj,
+                Algorithm::Prj,
+                Algorithm::MWay,
+                Algorithm::ShjJm,
+            ] {
+                let result = execute_on(algo, &ds, &cfg, &exec);
+                assert_eq!(result.matches, expect, "{algo}");
+            }
+        }
+        assert!(
+            exec.generations() > 0,
+            "pool dispatch must be exercised, not the spawn fallback"
+        );
+    }
+
+    #[test]
+    fn run_result_carries_one_core_slot_per_worker() {
+        let ds = small_static();
+        let cfg = RunConfig::with_threads(2).record_all();
+        let result = execute(Algorithm::Npj, &ds, &cfg);
+        // One entry per worker; Some only where the platform exposes getcpu.
+        assert_eq!(result.core_ids.len(), 2);
     }
 
     #[test]

@@ -51,11 +51,12 @@
 
 use crate::algo::Algorithm;
 use crate::config::RunConfig;
-use crate::runner::execute;
+use crate::runner::execute_on;
 use crate::windowing::{pair_multiplicity, WindowSpec};
 use iawj_common::spsc::{stream_channel, RecvError, StreamReceiver, StreamSender};
 use iawj_common::{Rate, Ts, Tuple, Window};
 use iawj_datagen::{Dataset, StreamSource};
+use iawj_exec::Executor;
 use iawj_obs::{
     LogHistogram, SpanJournal, StreamTick, MARK_STREAM_BACKPRESSURE, MARK_STREAM_CLOSE,
     MARK_STREAM_INGEST, MARK_STREAM_LATE,
@@ -294,6 +295,9 @@ pub struct StreamingJoin {
     peak_resident: usize,
     close_hist: LogHistogram,
     journal: SpanJournal,
+    /// The worker pool every window close runs on: provisioned (and, under
+    /// a pin policy, placed) once at operator construction, not per close.
+    exec: Executor,
 }
 
 impl StreamingJoin {
@@ -317,6 +321,7 @@ impl StreamingJoin {
             Geo::Session { .. } => true,
         };
         let journal = SpanJournal::with_capacity(Instant::now(), cfg.run.journal_capacity);
+        let exec = cfg.run.make_executor();
         StreamingJoin {
             geo,
             panes: BTreeMap::new(),
@@ -340,6 +345,7 @@ impl StreamingJoin {
             peak_resident: 0,
             close_hist: LogHistogram::new(),
             journal,
+            exec,
             cfg,
         }
     }
@@ -533,6 +539,7 @@ impl StreamingJoin {
                         &self.cfg.run,
                         &self.panes[&i].r,
                         &self.panes[&j].s,
+                        &self.exec,
                     );
                     self.engine_runs += 1;
                     computed += 1;
@@ -563,7 +570,7 @@ impl StreamingJoin {
                 .flat_map(|(_, p)| p.s.iter().copied())
                 .collect();
             if !r.is_empty() && !s.is_empty() {
-                matches = run_engine(self.cfg.engine, &self.cfg.run, &r, &s);
+                matches = run_engine(self.cfg.engine, &self.cfg.run, &r, &s, &self.exec);
                 self.engine_runs += 1;
             }
         }
@@ -609,7 +616,7 @@ impl StreamingJoin {
             0
         } else {
             self.engine_runs += 1;
-            run_engine(self.cfg.engine, &self.cfg.run, &r, &s)
+            run_engine(self.cfg.engine, &self.cfg.run, &r, &s, &self.exec)
         };
         if let Some(acc) = self.via_mult.as_mut() {
             // Sessions are disjoint (`pair_multiplicity_in` over realized
@@ -782,8 +789,15 @@ fn session_count(r: &[Tuple], s: &[Tuple], gap: u64) -> usize {
 }
 
 /// One engine invocation over tuples at rest (re-based to ts 0, exactly as
-/// [`execute_windowed`](crate::windowing::execute_windowed) runs a window).
-fn run_engine(engine: Algorithm, run: &RunConfig, r: &[Tuple], s: &[Tuple]) -> u64 {
+/// [`execute_windowed`](crate::windowing::execute_windowed) runs a window),
+/// on the operator's persistent worker pool.
+fn run_engine(
+    engine: Algorithm,
+    run: &RunConfig,
+    r: &[Tuple],
+    s: &[Tuple],
+    exec: &Executor,
+) -> u64 {
     let rebase = |t: &Tuple| Tuple::new(t.key, 0);
     let ds = Dataset {
         name: "stream-close".to_string(),
@@ -793,7 +807,7 @@ fn run_engine(engine: Algorithm, run: &RunConfig, r: &[Tuple], s: &[Tuple]) -> u
         rate_r: Rate::Infinite,
         rate_s: Rate::Infinite,
     };
-    execute(engine, &ds, run).matches
+    execute_on(engine, &ds, run, exec).matches
 }
 
 /// Spawn a pump thread feeding `src` into `tx` until the source ends or
@@ -802,16 +816,19 @@ pub fn spawn_source<S: StreamSource + 'static>(
     mut src: S,
     tx: StreamSender<Tuple>,
 ) -> JoinHandle<u64> {
-    std::thread::spawn(move || {
-        let mut sent = 0;
-        while let Some(t) = src.next_tuple() {
-            if tx.send(t).is_err() {
-                break;
+    std::thread::Builder::new()
+        .name("iawj-source".into())
+        .spawn(move || {
+            let mut sent = 0;
+            while let Some(t) = src.next_tuple() {
+                if tx.send(t).is_err() {
+                    break;
+                }
+                sent += 1;
             }
-            sent += 1;
-        }
-        sent
-    })
+            sent
+        })
+        .expect("spawn source thread")
 }
 
 /// Run a full streaming join over two finite in-memory streams: each side
@@ -1003,6 +1020,24 @@ mod tests {
         );
         assert!(sess.windows.is_empty());
         assert!(windows_for(WindowSpec::Session { gap_ms: 50 }, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn pool_and_spawn_executors_agree_on_stream_results() {
+        use iawj_exec::ExecMode;
+        let r = stream(250, 8, 800, 17);
+        let s = stream(250, 8, 800, 18);
+        let spec = WindowSpec::Sliding {
+            len_ms: 300,
+            slide_ms: 100,
+        };
+        let mk = |mode: ExecMode| {
+            cfg(spec).run_config(RunConfig::with_threads(2).record_all().executor(mode))
+        };
+        let pool = run_replay(mk(ExecMode::Pool), r.clone(), s.clone(), 32);
+        let spawn = run_replay(mk(ExecMode::Spawn), r, s, 32);
+        assert_eq!(stream_counts(&pool), stream_counts(&spawn));
+        assert_eq!(pool.matches, spawn.matches);
     }
 
     #[test]

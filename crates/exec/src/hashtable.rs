@@ -445,6 +445,30 @@ pub struct LockFreeTable {
 unsafe impl Sync for LockFreeTable {}
 unsafe impl Send for LockFreeTable {}
 
+/// Allocate a `Vec<T>` of `len` zeroed elements without the constructing
+/// thread touching the pages: `alloc_zeroed` hands back lazily-mapped
+/// zero pages, so physical placement is deferred to the first writer
+/// (NUMA first-touch).
+///
+/// Only instantiated with types whose all-zero bit pattern is a valid
+/// value (`AtomicI32`, `UnsafeCell<Entry>` — plain integers throughout).
+fn alloc_zeroed_vec<T>(len: usize) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<T>(len).expect("table layout overflow");
+    // SAFETY: layout is non-zero-sized; zeroed bytes are valid for the
+    // instantiating types (see above); the Vec takes ownership with the
+    // exact layout it will free with.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut T;
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, len, len)
+    }
+}
+
 impl LockFreeTable {
     /// Table with room for exactly `expected` entries (2× buckets, min 16).
     pub fn with_capacity(expected: usize) -> Self {
@@ -468,6 +492,59 @@ impl LockFreeTable {
             heads: (0..n).map(|_| AtomicI32::new(-1)).collect(),
             slots,
             claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// [`LockFreeTable::with_capacity`] with deferred (first-touch)
+    /// initialization: the backing memory comes from `alloc_zeroed`, so the
+    /// constructing thread never faults the pages in. Each build worker
+    /// must call [`LockFreeTable::first_touch`] for its share — which
+    /// writes the `-1` chain sentinels the zeroed heads still lack — and
+    /// the caller must barrier between the touch pass and the first
+    /// insert/probe. NPJ does this when its executor pins workers, placing
+    /// each worker's share of the table on that worker's NUMA node.
+    pub fn with_capacity_untouched(expected: usize) -> Self {
+        let n = next_pow2_at_least(expected * 2, 16);
+        assert!(
+            expected <= i32::MAX as usize,
+            "LockFreeTable: {expected} entries exceed i32 chain indices"
+        );
+        LockFreeTable {
+            mask: n as u64 - 1,
+            heads: alloc_zeroed_vec::<AtomicI32>(n),
+            slots: alloc_zeroed_vec::<UnsafeCell<Entry>>(expected).into_boxed_slice(),
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// First-touch worker `tid`'s share (of `threads`) of an untouched
+    /// table: stores the `-1` chain sentinel over its chunk of bucket
+    /// heads and the default entry over its chunk of arena slots, faulting
+    /// those pages onto the calling thread's NUMA node. After every worker
+    /// has touched its share (and a barrier), the table is
+    /// indistinguishable from an eagerly-built one.
+    ///
+    /// # Safety
+    ///
+    /// Must run on a [`LockFreeTable::with_capacity_untouched`] table
+    /// before any insert or probe; at most one concurrent caller per
+    /// `tid` with a consistent `threads` (the chunks are disjoint only
+    /// then); and all touch calls must be ordered before the build phase
+    /// by a barrier. Skipping a `tid` leaves zeroed heads, which corrupt
+    /// chain walks.
+    pub unsafe fn first_touch(&self, tid: usize, threads: usize) {
+        for b in crate::pool::chunk_range(self.heads.len(), threads, tid) {
+            self.heads[b].store(-1, Ordering::Relaxed);
+        }
+        let blank = Entry {
+            key: 0,
+            ts: 0,
+            next: -1,
+        };
+        for i in crate::pool::chunk_range(self.slots.len(), threads, tid) {
+            // Volatile: the store must reach memory even though slot
+            // contents are never read before an insert overwrites them.
+            std::ptr::write_volatile(self.slots[i].get(), blank);
         }
     }
 
@@ -890,6 +967,57 @@ mod tests {
         shared.prefetch_bucket(usize::MAX);
         striped.prefetch_bucket(usize::MAX);
         lockfree.prefetch_bucket(usize::MAX);
+    }
+
+    /// A first-touched table must be observationally identical to an
+    /// eagerly-initialised one: same retry counts, same probe results.
+    #[test]
+    fn untouched_first_touch_matches_eager() {
+        let eager = LockFreeTable::with_capacity(100);
+        let lazy = LockFreeTable::with_capacity_untouched(100);
+        assert_eq!(eager.mask(), lazy.mask());
+        for tid in 0..4 {
+            // SAFETY: single-threaded, sequential tids, before any insert.
+            unsafe { lazy.first_touch(tid, 4) };
+        }
+        for i in 0..100u32 {
+            assert_eq!(eager.insert(i % 13, i), lazy.insert(i % 13, i));
+        }
+        for k in 0..13u32 {
+            let mut a = Vec::new();
+            eager.probe(k, |ts| a.push(ts));
+            let mut b = Vec::new();
+            lazy.probe(k, |ts| b.push(ts));
+            assert_eq!(a, b, "key {k}");
+        }
+        // Zero-capacity edge: nothing to touch, still a usable empty table.
+        let empty = LockFreeTable::with_capacity_untouched(0);
+        // SAFETY: as above.
+        unsafe { empty.first_touch(0, 1) };
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(1), 0);
+    }
+
+    #[test]
+    fn untouched_concurrent_touch_then_build() {
+        // The NPJ wiring: every worker touches its share, a barrier closes
+        // the touch epoch, then the normal concurrent build runs.
+        let table = LockFreeTable::with_capacity_untouched(4000);
+        let gate = crate::pool::barrier(4);
+        run_workers(4, |tid| {
+            // SAFETY: one caller per tid, consistent threads, barriered
+            // before the first insert.
+            unsafe { table.first_touch(tid, 4) };
+            gate.wait();
+            for i in 0..1000u32 {
+                table.insert(i % 256, tid as u32 * 10_000 + i);
+            }
+        });
+        assert_eq!(table.len(), 4000);
+        for k in [0u32, 100, 255] {
+            let expect = (0..1000u32).filter(|i| i % 256 == k).count() * 4;
+            assert_eq!(table.count(k), expect, "key {k}");
+        }
     }
 
     #[test]

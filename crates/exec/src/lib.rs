@@ -7,6 +7,12 @@
 //! across all eight algorithms (§4.2.2):
 //!
 //! - [`pool`] — scoped worker threads and barriers (the pthread harness).
+//! - [`executor`] — the persistent worker-pool executor: parked, named,
+//!   optionally pinned workers reused across runs and window closes, with
+//!   the exact `run_workers` contract.
+//! - [`topology`] — affinity-mask and CPU-topology discovery (SMT
+//!   siblings, NUMA nodes) plus the `compact`/`scatter` placement plans
+//!   and raw `sched_setaffinity` pinning, all dependency-free.
 //! - [`morsel`] — morsel-driven work-stealing scheduler: the dynamic
 //!   alternative to `pool::chunk_range` for skew-robust scans (Fig. 10).
 //! - [`timer`] — per-thread phase timers; wall time stands in for RDTSC and
@@ -25,6 +31,7 @@
 //! - [`swwc`] — software write-combining scatter buffers and the cachesim
 //!   A/B harness validating their miss reduction (Fig. 18 / Table 5).
 
+pub mod executor;
 pub mod hashtable;
 pub mod latch;
 pub mod merge;
@@ -35,7 +42,9 @@ pub mod radix;
 pub mod sort;
 pub mod swwc;
 pub mod timer;
+pub mod topology;
 
+pub use executor::{ExecMode, Executor};
 pub use hashtable::{LocalTable, LockFreeTable, NpjTable, SharedTable, StripedTable};
 pub use latch::Latch;
 pub use morsel::{for_each_morsel, MorselQueue, MorselStats, Scheduler, DEFAULT_MORSEL};
@@ -45,3 +54,4 @@ pub use swwc::{ScatterMode, SwwcBuffers, SWWC_TUPLES_PER_LINE};
 pub use timer::{
     cpu_clock, ns_to_cycles, ClockSource, CpuClock, PhaseTimer, TimerParts, NOMINAL_GHZ,
 };
+pub use topology::{affinity_core_count, affinity_mask, CoreInfo, CpuSet, PinPolicy, Topology};

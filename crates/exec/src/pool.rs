@@ -1,7 +1,12 @@
 //! Scoped worker threads — the study's stand-in for the original pthread
-//! harness. Workers are plain OS threads created per run; the algorithms in
-//! this study are long-running enough (milliseconds to seconds) that thread
-//! spawn cost is noise, and per-run threads keep every run independent.
+//! harness. Workers are plain OS threads created per run, which keeps every
+//! run independent. For a single multi-millisecond batch join the spawn
+//! cost is small, but it is *not* noise once the streaming service runs an
+//! engine per window close (thousands of short runs per second) — that
+//! regime is what the persistent, optionally pinned
+//! [`Executor`](crate::executor::Executor) pool amortizes; `run_workers`
+//! remains the reference implementation (`--executor spawn`) the pool is
+//! differential-tested against.
 
 use std::sync::Barrier;
 

@@ -7,7 +7,8 @@
 //! per-thread histograms, global prefix sums, contention-free scatter into
 //! disjoint output ranges.
 
-use crate::pool::{chunk_range, run_workers};
+use crate::executor::Executor;
+use crate::pool::chunk_range;
 use iawj_common::kernel::{partition_batch8, HASH_BLOCK};
 use iawj_common::{KernelBackend, Key, Tuple};
 
@@ -161,6 +162,68 @@ impl SharedOut {
         }
     }
 
+    /// Zero-filled buffer of `len` tuples whose pages the allocating
+    /// thread does **not** touch: the memory comes from `alloc_zeroed`,
+    /// so the kernel maps copy-on-write zero pages and physical placement
+    /// is deferred to whichever thread writes each page first. Combined
+    /// with [`ScatterPlan::touch_chunk`] this gives NUMA first-touch
+    /// locality for the scatter arenas: each pinned worker faults in
+    /// exactly the ranges it will scatter into.
+    ///
+    /// `Tuple` is `#[repr(C)]` over two `u32`s, so the zeroed contents
+    /// are bitwise-identical to [`SharedOut::new`] — this is purely a
+    /// page-placement knob, never an output change.
+    pub fn new_first_touch(len: usize) -> Self {
+        if len == 0 {
+            return SharedOut::new(0);
+        }
+        let layout = std::alloc::Layout::array::<Tuple>(len).expect("arena layout overflow");
+        // SAFETY: layout is non-zero-sized (len > 0, Tuple is 8 bytes);
+        // zeroed bytes are a valid `Tuple` (two plain u32s); the Vec takes
+        // ownership with the exact allocation layout it would free with.
+        let buf = unsafe {
+            let ptr = std::alloc::alloc_zeroed(layout) as *mut Tuple;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            Vec::from_raw_parts(ptr, len, len)
+        };
+        SharedOut {
+            buf: std::cell::UnsafeCell::new(buf),
+        }
+    }
+
+    /// Number of slots in the buffer.
+    pub fn len(&self) -> usize {
+        // SAFETY: the Vec header is written only at construction; workers
+        // mutate elements through raw pointers, never the header.
+        unsafe { (*self.buf.get()).len() }
+    }
+
+    /// True when the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write the default tuple over `range`, faulting those pages into
+    /// the calling thread's NUMA node (first-touch). Contents are
+    /// unchanged observationally — slots are zero before and after.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedOut::write`] over the whole `range`: it
+    /// must be in bounds, disjoint from every other concurrent writer's
+    /// range, and free of concurrent readers.
+    pub unsafe fn touch(&self, range: std::ops::Range<usize>) {
+        let buf = &mut *self.buf.get();
+        debug_assert!(range.end <= buf.len());
+        let ptr = buf.as_mut_ptr();
+        for idx in range {
+            // Volatile: the store must reach memory even though it writes
+            // the value the slot already holds.
+            std::ptr::write_volatile(ptr.add(idx), Tuple::default());
+        }
+    }
+
     /// Write one slot.
     ///
     /// # Safety
@@ -242,6 +305,39 @@ impl ScatterPlan {
     /// Total tuples the plan accounts for.
     pub fn total(&self) -> usize {
         *self.bounds.last().expect("bounds never empty")
+    }
+
+    /// Number of scatter slots (threads or grid cells) the plan was built
+    /// for.
+    pub fn slots(&self) -> usize {
+        self.starts.len() / self.fanout
+    }
+
+    /// Pre-fault slot `tid`'s scatter destination ranges (first-touch):
+    /// writes the default tuple over exactly the slots
+    /// [`ScatterPlan::scatter_chunk`] will later fill for `tid`, so on a
+    /// pinned worker those pages land on the worker's own NUMA node before
+    /// the timed scatter runs. Contents are unchanged — the ranges are zero
+    /// before and after.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedOut::write`] over the touched ranges: the
+    /// caller must be the only writer of slot `tid`'s ranges while this
+    /// runs, with no concurrent readers. `out` must have [`ScatterPlan::total`]
+    /// slots.
+    pub unsafe fn touch_chunk(&self, tid: usize, out: &SharedOut) {
+        let f = self.fanout;
+        let slots = self.slots();
+        debug_assert!(tid < slots);
+        for p in 0..f {
+            let start = self.starts[tid * f + p];
+            let end = if tid + 1 < slots {
+                self.starts[(tid + 1) * f + p]
+            } else {
+                self.bounds[p + 1]
+            };
+            out.touch(start..end);
+        }
     }
 
     /// Scatter thread `tid`'s input chunk into the shared output.
@@ -375,13 +471,40 @@ impl ScatterPlan {
 /// prefix sums, then each thread scatters its own input chunk into its
 /// pre-reserved, mutually disjoint output slots.
 pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usize) -> Partitioned {
+    partition_parallel_exec(tuples, shift, bits, threads, &Executor::spawn_mode())
+}
+
+/// Build the scatter arena for an executor: pinned executors get the
+/// first-touch (page-placement-deferred) arena, everything else the plain
+/// eagerly-zeroed one. Contents are bitwise-identical either way.
+fn arena_for(exec: &Executor, len: usize) -> SharedOut {
+    if exec.pinned() {
+        SharedOut::new_first_touch(len)
+    } else {
+        SharedOut::new(len)
+    }
+}
+
+/// [`partition_parallel`] on an [`Executor`]: parallel sections run on the
+/// executor's lanes (persistent pool or per-run spawning), and when the
+/// executor pins its workers the output arena is allocated untouched and
+/// each lane first-touches exactly its own scatter ranges, placing those
+/// pages on the lane's NUMA node. Output is bitwise-identical to
+/// [`partition_parallel`] in every mode.
+pub fn partition_parallel_exec(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    exec: &Executor,
+) -> Partitioned {
     assert!(threads > 0);
     if threads == 1 || tuples.len() < 1024 {
         return partition_seq(tuples, shift, bits);
     }
 
     // Step 1: per-thread histograms over contiguous input chunks.
-    let hists: Vec<Vec<u32>> = run_workers(threads, |tid| {
+    let hists: Vec<Vec<u32>> = exec.run(threads, |tid| {
         histogram(
             &tuples[chunk_range(tuples.len(), threads, tid)],
             shift,
@@ -395,11 +518,18 @@ pub fn partition_parallel(tuples: &[Tuple], shift: u32, bits: u32, threads: usiz
     let plan = ScatterPlan::from_histograms(&hists, shift, bits);
     debug_assert_eq!(plan.total(), tuples.len());
 
-    // Step 3: contention-free scatter.
-    let out = SharedOut::new(tuples.len());
+    // Step 3: contention-free scatter, preceded by first-touch of each
+    // lane's own ranges when the lanes are pinned.
+    let first_touch = exec.pinned();
+    let out = arena_for(exec, tuples.len());
     let plan_ref = &plan;
     let out_ref = &out;
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
+        if first_touch {
+            // SAFETY: touches exactly the (tid, p) ranges this lane
+            // scatters below — disjoint across lanes by the prefix sum.
+            unsafe { plan_ref.touch_chunk(tid, out_ref) };
+        }
         plan_ref.scatter_chunk(
             &tuples[chunk_range(tuples.len(), threads, tid)],
             tid,
@@ -422,11 +552,23 @@ pub fn partition_parallel_swwc(
     bits: u32,
     threads: usize,
 ) -> Partitioned {
+    partition_parallel_swwc_exec(tuples, shift, bits, threads, &Executor::spawn_mode())
+}
+
+/// [`partition_parallel_swwc`] on an [`Executor`] (see
+/// [`partition_parallel_exec`] for the lane and first-touch semantics).
+pub fn partition_parallel_swwc_exec(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    exec: &Executor,
+) -> Partitioned {
     assert!(threads > 0);
     if threads == 1 || tuples.len() < 1024 {
         return partition_seq_buffered(tuples, shift, bits);
     }
-    let hists: Vec<Vec<u32>> = run_workers(threads, |tid| {
+    let hists: Vec<Vec<u32>> = exec.run(threads, |tid| {
         histogram(
             &tuples[chunk_range(tuples.len(), threads, tid)],
             shift,
@@ -435,9 +577,15 @@ pub fn partition_parallel_swwc(
     });
     let plan = ScatterPlan::from_histograms(&hists, shift, bits);
     debug_assert_eq!(plan.total(), tuples.len());
-    let out = SharedOut::new(tuples.len());
+    let first_touch = exec.pinned();
+    let out = arena_for(exec, tuples.len());
     let (plan_ref, out_ref) = (&plan, &out);
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
+        if first_touch {
+            // SAFETY: touches exactly the (tid, p) ranges this lane
+            // scatters below — disjoint across lanes by the prefix sum.
+            unsafe { plan_ref.touch_chunk(tid, out_ref) };
+        }
         let mut bufs = crate::swwc::SwwcBuffers::new(plan_ref.fanout);
         plan_ref.scatter_chunk_swwc(
             &tuples[chunk_range(tuples.len(), threads, tid)],
@@ -468,6 +616,29 @@ pub fn partition_parallel_morsel(
     threads: usize,
     morsel: usize,
 ) -> Partitioned {
+    partition_parallel_morsel_exec(
+        tuples,
+        shift,
+        bits,
+        threads,
+        morsel,
+        &Executor::spawn_mode(),
+    )
+}
+
+/// [`partition_parallel_morsel`] on an [`Executor`]. Under a pinned
+/// executor each claimed cell's scatter ranges are first-touched by the
+/// claiming lane immediately before it scatters them — with work stealing
+/// the cell-to-lane mapping is dynamic, so placement follows whichever
+/// lane actually writes the cell.
+pub fn partition_parallel_morsel_exec(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    morsel: usize,
+    exec: &Executor,
+) -> Partitioned {
     use crate::morsel::{for_each_morsel, MorselQueue};
     assert!(threads > 0);
     if threads == 1 || tuples.len() < 1024 {
@@ -479,7 +650,7 @@ pub fn partition_parallel_morsel(
 
     // Step 1: per-cell histograms, cells claimed work-stealingly.
     let hist_q = MorselQueue::new(cells, threads, 1);
-    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = run_workers(threads, |tid| {
+    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = exec.run(threads, |tid| {
         let mut local = Vec::new();
         for_each_morsel(&hist_q, tid, |claimed, _| {
             for g in claimed {
@@ -498,12 +669,19 @@ pub fn partition_parallel_morsel(
     debug_assert_eq!(plan.total(), tuples.len());
 
     // Step 3: contention-free scatter, cells claimed work-stealingly.
-    let out = SharedOut::new(tuples.len());
+    let first_touch = exec.pinned();
+    let out = arena_for(exec, tuples.len());
     let scatter_q = MorselQueue::new(cells, threads, 1);
     let (plan_ref, out_ref) = (&plan, &out);
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
         for_each_morsel(&scatter_q, tid, |claimed, _| {
             for g in claimed {
+                if first_touch {
+                    // SAFETY: cell `g`'s scatter ranges belong to this
+                    // claim alone; the claimer both touches and writes
+                    // them, so no other lane aliases the ranges.
+                    unsafe { plan_ref.touch_chunk(g, out_ref) };
+                }
                 plan_ref.scatter_chunk(cell(g), g, out_ref);
             }
         });
@@ -528,6 +706,27 @@ pub fn partition_parallel_morsel_swwc(
     threads: usize,
     morsel: usize,
 ) -> Partitioned {
+    partition_parallel_morsel_swwc_exec(
+        tuples,
+        shift,
+        bits,
+        threads,
+        morsel,
+        &Executor::spawn_mode(),
+    )
+}
+
+/// [`partition_parallel_morsel_swwc`] on an [`Executor`] (see
+/// [`partition_parallel_morsel_exec`] for the lane and first-touch
+/// semantics).
+pub fn partition_parallel_morsel_swwc_exec(
+    tuples: &[Tuple],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+    morsel: usize,
+    exec: &Executor,
+) -> Partitioned {
     use crate::morsel::{for_each_morsel, MorselQueue};
     assert!(threads > 0);
     if threads == 1 || tuples.len() < 1024 {
@@ -538,7 +737,7 @@ pub fn partition_parallel_morsel_swwc(
     let cell = |g: usize| &tuples[g * m..((g + 1) * m).min(tuples.len())];
 
     let hist_q = MorselQueue::new(cells, threads, 1);
-    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = run_workers(threads, |tid| {
+    let per_worker: Vec<Vec<(usize, Vec<u32>)>> = exec.run(threads, |tid| {
         let mut local = Vec::new();
         for_each_morsel(&hist_q, tid, |claimed, _| {
             for g in claimed {
@@ -555,13 +754,19 @@ pub fn partition_parallel_morsel_swwc(
     let plan = ScatterPlan::from_histograms(&hists, shift, bits);
     debug_assert_eq!(plan.total(), tuples.len());
 
-    let out = SharedOut::new(tuples.len());
+    let first_touch = exec.pinned();
+    let out = arena_for(exec, tuples.len());
     let scatter_q = MorselQueue::new(cells, threads, 1);
     let (plan_ref, out_ref) = (&plan, &out);
-    run_workers(threads, |tid| {
+    exec.run(threads, |tid| {
         let mut bufs = crate::swwc::SwwcBuffers::new(plan_ref.fanout);
         for_each_morsel(&scatter_q, tid, |claimed, _| {
             for g in claimed {
+                if first_touch {
+                    // SAFETY: as in `partition_parallel_morsel_exec` — the
+                    // claiming lane alone touches and writes cell `g`.
+                    unsafe { plan_ref.touch_chunk(g, out_ref) };
+                }
                 plan_ref.scatter_chunk_swwc(cell(g), g, out_ref, &mut bufs);
             }
         });
@@ -577,7 +782,19 @@ pub fn partition_parallel_morsel_swwc(
 /// bits. This is how PRJ keeps the first-pass fan-out within TLB reach while
 /// still producing cache-sized final partitions (Balkesen et al.).
 pub fn partition_two_pass(tuples: &[Tuple], bits1: u32, bits2: u32, threads: usize) -> Partitioned {
-    let first = partition_parallel(tuples, 0, bits1, threads);
+    partition_two_pass_exec(tuples, bits1, bits2, threads, &Executor::spawn_mode())
+}
+
+/// [`partition_two_pass`] on an [`Executor`]: both passes run on the
+/// executor's lanes (see [`partition_parallel_exec`]).
+pub fn partition_two_pass_exec(
+    tuples: &[Tuple],
+    bits1: u32,
+    bits2: u32,
+    threads: usize,
+    exec: &Executor,
+) -> Partitioned {
+    let first = partition_parallel_exec(tuples, 0, bits1, threads, exec);
     if bits2 == 0 {
         return first;
     }
@@ -589,15 +806,16 @@ pub fn partition_two_pass(tuples: &[Tuple], bits1: u32, bits2: u32, threads: usi
     // Second pass is embarrassingly parallel over first-pass partitions;
     // run it with the same worker count, each worker taking a slice of
     // partitions. Output layout: partition (p1, p2) at index p1*f2 + p2.
-    let sub: Vec<Partitioned> = run_workers(threads, |tid| {
-        let range = chunk_range(f1, threads, tid);
-        range
-            .map(|p1| partition_seq(first.partition(p1), bits1, bits2))
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let sub: Vec<Partitioned> = exec
+        .run(threads, |tid| {
+            let range = chunk_range(f1, threads, tid);
+            range
+                .map(|p1| partition_seq(first.partition(p1), bits1, bits2))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let mut cursor = 0usize;
     for part in &sub {
         for p2 in 0..f2 {
@@ -867,6 +1085,84 @@ mod tests {
                 assert_eq!(out.into_vec(), scalar_part.data, "swwc scatter n={n}");
             }
         }
+    }
+
+    /// Every `_exec` variant on a pooled executor must be bitwise-identical
+    /// to its spawn-mode (delegating) entry point — the executor is a pure
+    /// performance knob.
+    #[test]
+    fn exec_variants_are_bitwise_identical_to_spawn() {
+        use crate::executor::{ExecMode, Executor};
+        use crate::topology::PinPolicy;
+        let input = random_tuples(20_000, 1 << 14, 2);
+        let threads = 4;
+        for pin in [PinPolicy::None, PinPolicy::Compact, PinPolicy::Scatter] {
+            let exec = Executor::new(ExecMode::Pool, pin, threads);
+            let par = partition_parallel_exec(&input, 0, 6, threads, &exec);
+            let base = partition_parallel(&input, 0, 6, threads);
+            assert_eq!(base.bounds, par.bounds, "pin={pin}");
+            assert_eq!(base.data, par.data, "pin={pin}");
+
+            let swwc = partition_parallel_swwc_exec(&input, 0, 6, threads, &exec);
+            assert_eq!(base.data, swwc.data, "swwc pin={pin}");
+
+            let morsel = partition_parallel_morsel_exec(&input, 0, 6, threads, 512, &exec);
+            assert_eq!(base.data, morsel.data, "morsel pin={pin}");
+
+            let morsel_swwc =
+                partition_parallel_morsel_swwc_exec(&input, 0, 6, threads, 512, &exec);
+            assert_eq!(base.data, morsel_swwc.data, "morsel_swwc pin={pin}");
+
+            let two = partition_two_pass_exec(&input, 4, 4, threads, &exec);
+            let two_base = partition_two_pass(&input, 4, 4, threads);
+            assert_eq!(two_base.bounds, two.bounds, "two-pass pin={pin}");
+            assert_eq!(two_base.data, two.data, "two-pass pin={pin}");
+        }
+    }
+
+    /// The first-touch arena and per-chunk touch pass are observationally
+    /// invisible: untouched slots are zero (like `SharedOut::new`), touched
+    /// slots stay zero, and a touched-then-scattered arena matches the
+    /// sequential partitioner exactly.
+    #[test]
+    fn first_touch_arena_matches_eager_arena() {
+        let eager = SharedOut::new(1000);
+        let lazy = SharedOut::new_first_touch(1000);
+        assert_eq!(lazy.len(), 1000);
+        assert!(!lazy.is_empty());
+        assert!(SharedOut::new_first_touch(0).is_empty());
+        // SAFETY: no concurrent writers exist in this test.
+        unsafe {
+            lazy.touch(0..500);
+            assert_eq!(eager.as_slice(), lazy.as_slice());
+        }
+        assert_eq!(eager.into_vec(), lazy.into_vec());
+
+        // Touch-then-scatter through a real plan.
+        let input = random_tuples(4096, 1 << 10, 77);
+        let threads = 4;
+        let hists: Vec<Vec<u32>> = (0..threads)
+            .map(|t| {
+                histogram(
+                    &input[crate::pool::chunk_range(input.len(), threads, t)],
+                    0,
+                    6,
+                )
+            })
+            .collect();
+        let plan = ScatterPlan::from_histograms(&hists, 0, 6);
+        assert_eq!(plan.slots(), threads);
+        let out = SharedOut::new_first_touch(input.len());
+        for t in 0..threads {
+            // SAFETY: single-threaded here; ranges are disjoint per (t, p).
+            unsafe { plan.touch_chunk(t, &out) };
+            plan.scatter_chunk(
+                &input[crate::pool::chunk_range(input.len(), threads, t)],
+                t,
+                &out,
+            );
+        }
+        assert_eq!(out.into_vec(), partition_seq(&input, 0, 6).data);
     }
 
     #[test]

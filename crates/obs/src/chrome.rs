@@ -40,6 +40,16 @@ fn push_ts(out: &mut String, ns: u64) {
 /// The output is a complete JSON object — write it to a file and load it
 /// in `chrome://tracing` or Perfetto as-is.
 pub fn chrome_trace(journals: &[(usize, &SpanJournal)]) -> String {
+    let with_cores: Vec<(usize, Option<usize>, &SpanJournal)> =
+        journals.iter().map(|&(tid, j)| (tid, None, j)).collect();
+    chrome_trace_with_cores(&with_cores)
+}
+
+/// Like [`chrome_trace`], with the CPU each worker lane ran on (when the
+/// executor observed one) folded into the thread-name metadata — a lane
+/// pinned or observed on CPU 5 is labelled `"worker 3 @cpu5"`, so
+/// placement is visible right in the Perfetto track list.
+pub fn chrome_trace_with_cores(journals: &[(usize, Option<usize>, &SpanJournal)]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -52,10 +62,14 @@ pub fn chrome_trace(journals: &[(usize, &SpanJournal)]) -> String {
         push_common(&mut out, "process_name", "M", 0);
         out.push_str(&format!(",\"args\":{{\"name\":\"{PROCESS_NAME}\"}}}}"));
     }
-    for &(tid, journal) in journals {
+    for &(tid, core, journal) in journals {
         sep(&mut out);
         push_common(&mut out, "thread_name", "M", tid);
-        out.push_str(&format!(",\"args\":{{\"name\":\"worker {tid}\"}}}}"));
+        let label = match core {
+            Some(cpu) => format!("worker {tid} @cpu{cpu}"),
+            None => format!("worker {tid}"),
+        };
+        out.push_str(&format!(",\"args\":{{\"name\":\"{label}\"}}}}"));
         for span in journal.spans() {
             sep(&mut out);
             push_common(&mut out, span.name, "X", tid);
@@ -224,6 +238,29 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(25.0)
         );
+    }
+
+    #[test]
+    fn core_ids_label_thread_names() {
+        let epoch = Instant::now();
+        let j0 = journal_with(epoch, &[("probe", 0, 10)]);
+        let j1 = journal_with(epoch, &[("probe", 0, 12)]);
+        let doc = Json::parse(&chrome_trace_with_cores(&[
+            (0, None, &j0),
+            (1, Some(5), &j1),
+        ]))
+        .unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["worker 0", "worker 1 @cpu5"]);
     }
 
     #[test]

@@ -39,6 +39,19 @@ pub const MARK_STREAM_LATE: &str = "stream:late";
 /// (the backpressure signal; episodes are counted at the queue).
 pub const MARK_STREAM_BACKPRESSURE: &str = "stream:backpressure";
 
+/// Journal mark recorded once per generation dispatched through the
+/// persistent executor's worker pool (job published, workers woken).
+pub const MARK_EXEC_DISPATCH: &str = "exec:dispatch";
+
+/// Journal mark recorded when a pool worker parks on the dispatch condvar
+/// to wait for the next generation.
+pub const MARK_EXEC_PARK: &str = "exec:park";
+
+/// Journal mark recorded when worker pinning degraded: the placement plan
+/// was empty (no topology / masked cpuset) or `sched_setaffinity` was
+/// denied, so the worker runs wherever the OS puts it.
+pub const MARK_EXEC_UNPINNED: &str = "exec:unpinned";
+
 /// One closed interval of work attributed to a named phase or activity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {

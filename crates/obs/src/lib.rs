@@ -43,12 +43,13 @@ pub mod report;
 pub mod snapshot;
 pub mod stream;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_cores};
 pub use diff::{diff, DiffReport, DiffThresholds, RunDiff, Verdict};
 pub use hist::LogHistogram;
 pub use journal::{
-    Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_LATCH_WAIT, MARK_STREAM_BACKPRESSURE,
-    MARK_STREAM_CLOSE, MARK_STREAM_INGEST, MARK_STREAM_LATE,
+    Mark, Span, SpanJournal, MARK_CAS_RETRY, MARK_EXEC_DISPATCH, MARK_EXEC_PARK,
+    MARK_EXEC_UNPINNED, MARK_LATCH_WAIT, MARK_STREAM_BACKPRESSURE, MARK_STREAM_CLOSE,
+    MARK_STREAM_INGEST, MARK_STREAM_LATE,
 };
 pub use perf::{CounterDelta, CounterSource, PerfError, PerfSampler, COUNTER_NAMES, N_COUNTERS};
 pub use report::{breakdown_table, PhaseRow};

@@ -28,9 +28,9 @@ fn main() {
         dupe: 20.0,
         skew_key: 0.0,
         total_tuples: dataset.total_inputs(),
-        cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
+        // The cores this process may actually use (affinity mask), not the
+        // machine's count — under taskset/cgroups they differ.
+        cores: iawj_study::exec::affinity_core_count().max(1),
     };
     let algorithm = recommend_default(&descriptor, Objective::Throughput);
     println!("decision tree picks: {algorithm}");

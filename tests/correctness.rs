@@ -212,6 +212,53 @@ fn differential_kernel_backends_across_skew_threads() {
     }
 }
 
+/// The pool-vs-spawn differential harness guarding the persistent
+/// executor: every studied engine under both executor modes (and, for the
+/// pool, every pin policy) against the nested-loop oracle, asserting the
+/// exact sorted match set. A persistent pool must be invisible to the
+/// join: same tid→work mapping, same merge order, bitwise-identical
+/// output — pinning may only move threads, never tuples.
+#[test]
+fn differential_executor_modes_across_engines_and_schedulers() {
+    use iawj_study::core::{ExecMode, PinPolicy};
+    let modes = [
+        (ExecMode::Spawn, PinPolicy::None),
+        (ExecMode::Pool, PinPolicy::None),
+        (ExecMode::Pool, PinPolicy::Compact),
+        (ExecMode::Pool, PinPolicy::Scatter),
+    ];
+    for seed in [91u64, 92] {
+        let ds = MicroSpec::static_counts(600, 600)
+            .dupe(6)
+            .skew_key(0.99)
+            .seed(seed)
+            .generate();
+        let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+        for threads in [1usize, 4] {
+            for sched in Scheduler::ALL {
+                for algo in Algorithm::STUDIED {
+                    for (mode, pin) in modes {
+                        let cfg = RunConfig::with_threads(threads)
+                            .record_all()
+                            .speedup(500.0)
+                            .scheduler(sched)
+                            .morsel_size(64)
+                            .executor(mode)
+                            .pin(pin);
+                        let result = execute(algo, &ds, &cfg);
+                        assert_eq!(
+                            canonical(&result),
+                            expect,
+                            "{algo} diverged (seed={seed} threads={threads} \
+                             scheduler={sched} executor={mode:?} pin={pin:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn handshake_strawman_exact() {
     let ds = MicroSpec::static_counts(500, 500)
