@@ -79,6 +79,7 @@ WORKLOAD OPTIONS (all subcommands):
 
 RUN OPTIONS (run, sweep, trace):
   --algo NAME        NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE
+                     |IBWJ|IBWJ_PART (dashes accepted: ibwj-part)
   --threads N        worker threads (default 4, capped to the affinity mask;
                      oversubscribing the mask warns)
   --executor MODE    worker provisioning: pool (persistent parked workers,
@@ -100,6 +101,13 @@ RUN OPTIONS (run, sweep, trace):
   --kernel MODE      hot-loop kernels: scalar|simd (default simd; simd batches
                      hashing 8 keys wide and software-prefetches bucket heads)
   --prefetch-dist N  simd probe/build prefetch lookahead in tuples (default 8)
+  --index-partitions N  IBWJ_PART sub-index partitions (default 4*threads,
+                     rounded up to a power of two)
+  --index-epochs N   IBWJ_PART repartition epochs per run (default 8, must be >0)
+  --repart-factor F  IBWJ_PART imbalance trigger: rebalance when the heaviest
+                     worker exceeds the ideal share by F (default 1.5)
+  --evict-horizon N  index engines: evict entries more than N ms behind the
+                     newest arrival (default: keep the whole window)
   --json             machine-readable output
   --perf             sample hardware counters per phase (perf_event; falls
                      back silently where unavailable)

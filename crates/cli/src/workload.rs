@@ -30,6 +30,10 @@ pub const RUN_OPTS: &[&str] = &[
     "prefetch-dist",
     "executor",
     "pin",
+    "index-partitions",
+    "index-epochs",
+    "repart-factor",
+    "evict-horizon",
     "json",
     "perf",
     "trace-out",
@@ -42,16 +46,18 @@ pub fn parse_algorithm(args: &Args) -> Result<Algorithm, ArgError> {
     algorithm_by_name(&name).ok_or(ArgError::Invalid {
         key: "algo".into(),
         value: name,
-        expected: "NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE",
+        expected: "NPJ|PRJ|MWAY|MPASS|SHJ_JM|SHJ_JB|PMJ_JM|PMJ_JB|HANDSHAKE|IBWJ|IBWJ_PART",
     })
 }
 
-/// Case-insensitive algorithm lookup.
+/// Case-insensitive algorithm lookup; dashes are accepted for underscores
+/// (`ibwj-part` names `IBWJ_PART`).
 pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
-    let upper = name.to_ascii_uppercase();
+    let upper = name.to_ascii_uppercase().replace('-', "_");
     Algorithm::STUDIED
         .into_iter()
         .chain([Algorithm::Handshake])
+        .chain(Algorithm::INDEX)
         .find(|a| a.name() == upper)
 }
 
@@ -246,6 +252,30 @@ pub fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
             expected: "a positive lookahead distance",
         });
     }
+    cfg.index.partitions = args.get_or("index-partitions", cfg.index.partitions)?;
+    cfg.index.epochs = args.get_or("index-epochs", cfg.index.epochs)?;
+    if cfg.index.epochs == 0 {
+        return Err(ArgError::Invalid {
+            key: "index-epochs".into(),
+            value: "0".into(),
+            expected: "a positive epoch count",
+        });
+    }
+    cfg.index.repart_factor = args.get_or("repart-factor", cfg.index.repart_factor)?;
+    if !(cfg.index.repart_factor.is_finite() && cfg.index.repart_factor >= 1.0) {
+        return Err(ArgError::Invalid {
+            key: "repart-factor".into(),
+            value: format!("{}", cfg.index.repart_factor),
+            expected: "a finite imbalance factor >= 1.0",
+        });
+    }
+    if let Some(v) = args.get("evict-horizon") {
+        cfg.index.evict_horizon_ms = Some(v.parse().map_err(|_| ArgError::Invalid {
+            key: "evict-horizon".into(),
+            value: v.into(),
+            expected: "a horizon in ms",
+        })?);
+    }
     // Trace and metrics export need per-worker span journals.
     cfg.journal = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
     // Hardware counters: explicit opt-in, and implied by the metrics
@@ -267,7 +297,29 @@ mod tests {
         assert_eq!(algorithm_by_name("npj"), Some(Algorithm::Npj));
         assert_eq!(algorithm_by_name("Shj_Jm"), Some(Algorithm::ShjJm));
         assert_eq!(algorithm_by_name("handshake"), Some(Algorithm::Handshake));
+        assert_eq!(algorithm_by_name("ibwj"), Some(Algorithm::Ibwj));
+        assert_eq!(algorithm_by_name("ibwj-part"), Some(Algorithm::IbwjPart));
+        assert_eq!(algorithm_by_name("IBWJ_PART"), Some(Algorithm::IbwjPart));
         assert_eq!(algorithm_by_name("nope"), None);
+    }
+
+    #[test]
+    fn index_knobs() {
+        let cfg = build_config(&parse("")).unwrap();
+        assert_eq!(cfg.index.partitions, 0);
+        assert_eq!(cfg.index.epochs, 8);
+        assert_eq!(cfg.index.evict_horizon_ms, None);
+        let cfg = build_config(&parse(
+            "--index-partitions 32 --index-epochs 4 --repart-factor 2.0 --evict-horizon 500",
+        ))
+        .unwrap();
+        assert_eq!(cfg.index.partitions, 32);
+        assert_eq!(cfg.index.epochs, 4);
+        assert!((cfg.index.repart_factor - 2.0).abs() < 1e-9);
+        assert_eq!(cfg.index.evict_horizon_ms, Some(500));
+        assert!(build_config(&parse("--index-epochs 0")).is_err());
+        assert!(build_config(&parse("--repart-factor 0.5")).is_err());
+        assert!(build_config(&parse("--evict-horizon soon")).is_err());
     }
 
     #[test]

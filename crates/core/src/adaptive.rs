@@ -57,7 +57,10 @@ fn sniff_stream(tuples: &[Tuple], frac: f64) -> (Rate, f64, f64) {
 /// `sample_frac` is the fraction of each stream inspected (an adaptive
 /// router would buffer about this much before committing to a plan). Note
 /// the total-tuple estimate extrapolates the prefix rate over the window,
-/// so data-at-rest inputs use their true cardinalities.
+/// so data-at-rest inputs use their true cardinalities. `cores` is clamped
+/// to the affinity mask ([`crate::decision::effective_cores`]): the tree's
+/// `cores_large` comparison must reason about cores the process can
+/// actually use, not the raw thread request.
 pub fn sniff(ds: &Dataset, sample_frac: f64, cores: usize) -> Workload {
     let (rate_r, dupe_r, skew_r) = sniff_stream(&ds.r, sample_frac);
     let (rate_s, dupe_s, skew_s) = sniff_stream(&ds.s, sample_frac);
@@ -67,7 +70,7 @@ pub fn sniff(ds: &Dataset, sample_frac: f64, cores: usize) -> Workload {
         dupe: dupe_r.max(dupe_s),
         skew_key: skew_r.max(skew_s),
         total_tuples: ds.total_inputs(),
-        cores,
+        cores: crate::decision::effective_cores(cores),
     }
 }
 
@@ -170,6 +173,14 @@ mod tests {
         let out = execute_adaptive(&ds, &cfg, Objective::Latency);
         assert_eq!(out.chosen, Algorithm::ShjJm);
         assert_eq!(out.result.matches, match_count(&ds.r, &ds.s, ds.window));
+    }
+
+    #[test]
+    fn sniff_clamps_cores_to_affinity_mask() {
+        let ds = MicroSpec::static_counts(100, 100).seed(6).generate();
+        let avail = iawj_exec::affinity_core_count().max(1);
+        assert_eq!(sniff(&ds, 0.05, usize::MAX).cores, avail);
+        assert_eq!(sniff(&ds, 0.05, 1).cores, 1);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum Algorithm {
     /// realisation of the paper's §5.2/§7 orchestration direction (an
     /// extension, not part of the eight).
     HybridShj,
+    /// Index-Based Window Join — maintains an evictable hash index over
+    /// resident window content and probes it per arrival (engines 9+;
+    /// the family the paper deliberately excludes).
+    Ibwj,
+    /// PanJoin-style partitioned adaptive IBWJ: per-partition sub-indexes
+    /// with histogram-triggered repartitioning under skew.
+    IbwjPart,
 }
 
 impl Algorithm {
@@ -59,6 +66,9 @@ impl Algorithm {
         Algorithm::PmjJb,
     ];
 
+    /// The index-accelerated engines (extensions, not part of the eight).
+    pub const INDEX: [Algorithm; 2] = [Algorithm::Ibwj, Algorithm::IbwjPart];
+
     /// Paper display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -72,7 +82,14 @@ impl Algorithm {
             Algorithm::PmjJb => "PMJ_JB",
             Algorithm::Handshake => "HANDSHAKE",
             Algorithm::HybridShj => "HYBRID_SHJ",
+            Algorithm::Ibwj => "IBWJ",
+            Algorithm::IbwjPart => "IBWJ_PART",
         }
+    }
+
+    /// Index-accelerated engine (maintains a resident window index)?
+    pub fn is_index_based(self) -> bool {
+        matches!(self, Algorithm::Ibwj | Algorithm::IbwjPart)
     }
 
     /// Lazy execution approach?
@@ -149,6 +166,20 @@ mod tests {
         assert!(Algorithm::HybridShj.is_eager());
         assert!(!Algorithm::HybridShj.is_sort_based());
         assert!(!Algorithm::STUDIED.contains(&Algorithm::HybridShj));
+    }
+
+    #[test]
+    fn index_engines_classified() {
+        for a in Algorithm::INDEX {
+            assert!(a.is_index_based());
+            assert!(a.is_eager(), "{a} processes per arrival");
+            assert!(!a.is_sort_based());
+            assert!(!a.needs_pow2_threads());
+            assert!(!Algorithm::STUDIED.contains(&a));
+        }
+        assert!(!Algorithm::ShjJm.is_index_based());
+        assert_eq!(Algorithm::Ibwj.to_string(), "IBWJ");
+        assert_eq!(Algorithm::IbwjPart.to_string(), "IBWJ_PART");
     }
 
     #[test]

@@ -138,6 +138,36 @@ impl Default for HybridConfig {
     }
 }
 
+/// Index-engine knobs (the IBWJ family; see DESIGN.md).
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Partition count for `IBWJ_PART` (0 = auto: the next power of two at
+    /// or above 4× the thread count, so repartitioning has slack to move
+    /// hot partitions between workers).
+    pub partitions: usize,
+    /// How many stream-time epochs `IBWJ_PART` slices a run into; each
+    /// epoch boundary is a deterministic repartition opportunity.
+    pub epochs: usize,
+    /// Repartition when the most-loaded worker's assigned tuple share
+    /// exceeds the ideal share by this factor.
+    pub repart_factor: f64,
+    /// Evict index entries older than this horizon behind the newest
+    /// arrival (`None` keeps the whole window resident — correct for the
+    /// single-window harness, where every pair is in range).
+    pub evict_horizon_ms: Option<u32>,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            partitions: 0,
+            epochs: 8,
+            repart_factor: 1.5,
+            evict_horizon_ms: None,
+        }
+    }
+}
+
 /// Work-distribution knobs shared by every engine (the Fig. 10 skew
 /// ablation: static `chunk_range` splits vs morsel-driven stealing).
 #[derive(Clone, Copy, Debug)]
@@ -220,6 +250,8 @@ pub struct RunConfig {
     pub jm: JmConfig,
     /// Hybrid-extension knobs.
     pub hybrid: HybridConfig,
+    /// Index-engine knobs.
+    pub index: IndexConfig,
 }
 
 impl Default for RunConfig {
@@ -242,6 +274,7 @@ impl Default for RunConfig {
             jb: JbConfig::default(),
             jm: JmConfig::default(),
             hybrid: HybridConfig::default(),
+            index: IndexConfig::default(),
         }
     }
 }
@@ -353,6 +386,12 @@ impl RunConfig {
                  the lock-free table has no latches to stripe"
                 .into());
         }
+        if self.index.epochs == 0 {
+            return Err("index epochs must be at least 1".into());
+        }
+        if !(self.index.repart_factor.is_finite() && self.index.repart_factor >= 1.0) {
+            return Err("index repartition factor must be a finite value >= 1.0".into());
+        }
         Ok(())
     }
 
@@ -401,6 +440,16 @@ impl RunConfig {
             .rev()
             .find(|d| self.threads.is_multiple_of(*d))
             .unwrap_or(1)
+    }
+
+    /// Effective partition count for `IBWJ_PART`: the configured value, or
+    /// auto-sized to the next power of two at or above 4× the thread count.
+    pub fn index_partitions(&self) -> usize {
+        if self.index.partitions > 0 {
+            self.index.partitions
+        } else {
+            iawj_common::hash::next_pow2_at_least(self.threads * 4, 4)
+        }
     }
 
     /// JM matrix shape `(rows, cols)` with `rows*cols = threads`, as square
@@ -480,6 +529,24 @@ mod tests {
         assert!(err.contains("morsel"), "unexpected message: {err}");
         let zero_threads = RunConfig::with_threads(0);
         assert!(zero_threads.validate().is_err());
+    }
+
+    #[test]
+    fn index_config_defaults_and_validation() {
+        let c = RunConfig::with_threads(4);
+        assert_eq!(c.index.partitions, 0, "auto by default");
+        assert_eq!(c.index_partitions(), 16, "4 threads -> pow2(16)");
+        let mut c = RunConfig::with_threads(3);
+        assert_eq!(c.index_partitions(), 16, "3 threads -> pow2 >= 12");
+        c.index.partitions = 7;
+        assert_eq!(c.index_partitions(), 7, "explicit value wins");
+        c.index.epochs = 0;
+        assert!(c.validate().unwrap_err().contains("epochs"));
+        c.index.epochs = 1;
+        c.index.repart_factor = 0.5;
+        assert!(c.validate().unwrap_err().contains("repartition"));
+        c.index.repart_factor = 1.5;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

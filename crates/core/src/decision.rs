@@ -13,8 +13,13 @@
 //!   - low key duplication → depends on the objective: throughput → lazy
 //!     (same sub-tree as the high-rate case); latency/progressiveness →
 //!     SHJ^JM.
-//! - **Low arrival rate** (at least one stream) → SHJ^JM: it eagerly uses
-//!   idle hardware with low overhead.
+//! - **Low arrival rate** (at least one stream) → eager, with an
+//!   index-aware split (the extension past Figure 4): once the resident
+//!   window is large, the index engines' per-arrival maintenance is repaid
+//!   by probe savings on every arrival (the IBWJ crossover), so IBWJ wins
+//!   — IBWJ_PART under high key skew, where the partitioned variant's
+//!   histogram rebalance keeps workers even. Below the crossover, SHJ^JM:
+//!   it eagerly uses idle hardware with low overhead.
 //!
 //! The qualitative bands are relative to the machine; the defaults follow
 //! the paper's Micro sweep (§5.4) where 1600 tuples/ms behaves "low" and
@@ -71,6 +76,11 @@ pub struct Thresholds {
     /// Core counts at/above this read "large" (MPass scales better,
     /// §5.6).
     pub cores_large: usize,
+    /// The index crossover: at low arrival rates, windows holding at least
+    /// this many tuples favour the IBWJ family over SHJ^JM — rebuilding or
+    /// re-probing unindexed state grows with window size while index
+    /// maintenance stays per-arrival.
+    pub index_window_tuples: usize,
 }
 
 impl Default for Thresholds {
@@ -82,6 +92,7 @@ impl Default for Thresholds {
             skew_high: 1.2,
             tuples_large: 1 << 20,
             cores_large: 8,
+            index_window_tuples: 1 << 20,
         }
     }
 }
@@ -91,8 +102,18 @@ pub fn recommend(w: &Workload, objective: Objective, th: &Thresholds) -> Algorit
     let band_r = w.rate_r.band(th.rate_low, th.rate_high);
     let band_s = w.rate_s.band(th.rate_low, th.rate_high);
 
-    // "We recommend SHJ^JM whenever one input stream has low arrival rate."
+    // "We recommend SHJ^JM whenever one input stream has low arrival rate"
+    // — unless the resident window is large enough that the index engines'
+    // probe savings repay their maintenance (the IBWJ crossover); the
+    // partitioned variant takes over under high key skew.
     if band_r == RateBand::Low || band_s == RateBand::Low {
+        if w.total_tuples >= th.index_window_tuples {
+            return if w.skew_key >= th.skew_high {
+                Algorithm::IbwjPart
+            } else {
+                Algorithm::Ibwj
+            };
+        }
         return Algorithm::ShjJm;
     }
 
@@ -149,13 +170,25 @@ pub fn recommend_default(w: &Workload, objective: Objective) -> Algorithm {
     recommend(w, objective, &Thresholds::default())
 }
 
+/// Cores this process can actually run `requested` workers on: the request
+/// clamped to the affinity mask. Both [`calibrate`] and the
+/// [`Workload`]-construction sites (the adaptive sniffer, `iawj
+/// recommend`) route through this, so a taskset-restricted process never
+/// scales its bands — or its `cores_large` comparison — by cores it
+/// cannot use.
+pub fn effective_cores(requested: usize) -> usize {
+    requested.min(iawj_exec::affinity_core_count().max(1)).max(1)
+}
+
 /// Calibrate the rate bands to this host (the paper's "the quantitative
 /// value depends on actual hardware" caveat under Figure 4): a short
 /// symmetric-hash-join probe measures single-thread processing capacity,
 /// and the bands scale from there. A stream is "high rate" when the
 /// aggregate input approaches what the cores can absorb eagerly, "low"
 /// when it is a small fraction of it — the same 16:1 spread the paper's
-/// Micro sweep uses (1600 vs 25600 tuples/ms on its machine).
+/// Micro sweep uses (1600 vs 25600 tuples/ms on its machine). `threads`
+/// is clamped to the affinity mask ([`effective_cores`]): capacity the
+/// scheduler will never grant must not inflate the bands.
 pub fn calibrate(threads: usize) -> Thresholds {
     use iawj_exec::LocalTable;
     use std::time::Instant;
@@ -180,7 +213,7 @@ pub fn calibrate(threads: usize) -> Thresholds {
     let per_thread = PROBE_TUPLES as f64 / elapsed_ms.max(1e-6);
     // An eager join saturates somewhat below raw table speed (dispatch,
     // two streams); take 50% of aggregate capacity as the "high" band edge.
-    let rate_high = per_thread * threads as f64 * 0.5;
+    let rate_high = per_thread * effective_cores(threads) as f64 * 0.5;
     Thresholds {
         rate_high,
         rate_low: rate_high / 16.0,
@@ -204,8 +237,9 @@ mod tests {
     }
 
     #[test]
-    fn low_rate_always_shj_jm() {
-        let w = workload(100.0, 1000.0);
+    fn low_rate_small_window_is_shj_jm() {
+        let mut w = workload(100.0, 1000.0);
+        w.total_tuples = 100_000; // below the index crossover
         for obj in [
             Objective::Throughput,
             Objective::Latency,
@@ -213,13 +247,44 @@ mod tests {
         ] {
             assert_eq!(recommend_default(&w, obj), Algorithm::ShjJm);
         }
+    }
+
+    #[test]
+    fn low_rate_large_window_picks_index_engines() {
+        // workload() holds 10 << 20 tuples — past the crossover.
+        let w = workload(100.0, 1000.0);
+        for obj in [
+            Objective::Throughput,
+            Objective::Latency,
+            Objective::Progressiveness,
+        ] {
+            assert_eq!(recommend_default(&w, obj), Algorithm::Ibwj, "{obj:?}");
+        }
         // One low stream suffices (e.g. Stock).
         let mut w = workload(30000.0, 1.0);
         w.rate_s = Rate::PerMs(100.0);
+        assert_eq!(recommend_default(&w, Objective::Throughput), Algorithm::Ibwj);
+        // High key skew routes to the partitioned adaptive variant.
+        w.skew_key = 1.4;
         assert_eq!(
             recommend_default(&w, Objective::Throughput),
-            Algorithm::ShjJm
+            Algorithm::IbwjPart
         );
+        // Raising the crossover knob restores the paper's SHJ^JM answer.
+        let th = Thresholds {
+            index_window_tuples: usize::MAX,
+            ..Thresholds::default()
+        };
+        assert_eq!(recommend(&w, Objective::Throughput, &th), Algorithm::ShjJm);
+    }
+
+    #[test]
+    fn effective_cores_clamps_to_affinity_mask() {
+        let avail = iawj_exec::affinity_core_count().max(1);
+        assert_eq!(effective_cores(usize::MAX), avail);
+        assert_eq!(effective_cores(avail + 7), avail, "narrowed mask wins");
+        assert_eq!(effective_cores(1), 1);
+        assert_eq!(effective_cores(0), 1, "never zero");
     }
 
     #[test]
@@ -301,6 +366,12 @@ mod tests {
         // Calibrated thresholds feed straight into the tree.
         let w = workload(th.rate_high * 2.0, 1.0);
         assert!(recommend(&w, Objective::Throughput, &th).is_lazy());
+        // A thread request far past the affinity mask must not inflate the
+        // bands to mask-independent values: the clamped calibration stays
+        // finite and ordered like any in-mask one.
+        let clamped = calibrate(usize::MAX);
+        assert!(clamped.rate_high.is_finite() && clamped.rate_high > 0.0);
+        assert!((clamped.rate_high / clamped.rate_low - 16.0).abs() < 1e-6);
     }
 
     #[test]

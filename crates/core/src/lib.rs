@@ -33,6 +33,7 @@ pub mod config;
 pub mod decision;
 pub mod distribute;
 pub mod eager;
+pub mod index;
 pub mod lazy;
 pub mod metrics;
 pub mod output;
@@ -44,7 +45,7 @@ pub mod windowing;
 
 pub use algo::Algorithm;
 pub use clock::EventClock;
-pub use config::{ExecConfig, RunConfig, SchedConfig};
+pub use config::{ExecConfig, IndexConfig, RunConfig, SchedConfig};
 pub use iawj_exec::{ExecMode, Executor, NpjTable, PinPolicy, ScatterMode, Scheduler};
 pub use output::RunResult;
 pub use runner::{execute, execute_on};

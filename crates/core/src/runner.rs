@@ -4,11 +4,12 @@
 use crate::algo::Algorithm;
 use crate::clock::EventClock;
 use crate::config::RunConfig;
-use crate::distribute::{jb, jm};
+use crate::distribute::{jb, jm, View};
 use crate::eager::hybrid::HybridEngine;
 use crate::eager::pmj::PmjEngine;
 use crate::eager::shj::ShjEngine;
 use crate::eager::{drive_worker, handshake};
+use crate::index::{self, IbwjEngine};
 use crate::lazy;
 use crate::output::{RunResult, WorkerOut};
 use iawj_common::Ts;
@@ -159,6 +160,23 @@ fn run_algorithm(
                 }
             })
         }
+        // IBWJ: every worker observes the full streams and joins only the
+        // keys it owns against its private pair of window indexes.
+        Algorithm::Ibwj => exec.run(cfg.threads, |w| {
+            let exp_r = r.len() / cfg.threads + 1;
+            let exp_s = s.len() / cfg.threads + 1;
+            let engine = IbwjEngine::new(exp_r, exp_s, w, cfg.threads)
+                .kernel(cfg.kernel.backend, cfg.kernel.prefetch_dist)
+                .evict_horizon(cfg.index.evict_horizon_ms);
+            drive_worker(
+                engine,
+                View::strided(r, 0, 1),
+                View::strided(s, 0, 1),
+                cfg,
+                clock,
+            )
+        }),
+        Algorithm::IbwjPart => index::run_part_on(r, s, cfg, clock, arrive_by, exec),
         Algorithm::ShjJb | Algorithm::PmjJb => {
             let g = cfg.jb_group_size();
             let groups = cfg.threads / g;
@@ -241,6 +259,36 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expect, "{algo} diverged from the reference");
             assert_eq!(result.matches as usize, expect.len(), "{algo} count");
+        }
+    }
+
+    #[test]
+    fn index_engines_agree_with_reference() {
+        let ds = small_static();
+        let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+        for algo in Algorithm::INDEX {
+            for threads in [1usize, 3, 4] {
+                let cfg = RunConfig::with_threads(threads).record_all();
+                let result = execute(algo, &ds, &cfg);
+                let mut got: Vec<_> = result
+                    .samples
+                    .iter()
+                    .map(|m| (m.key, m.r_ts, m.s_ts))
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, expect, "{algo} diverged with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn index_engines_exact_on_streaming_input() {
+        let ds = MicroSpec::with_rates(30.0, 30.0).dupe(3).seed(5).generate();
+        let expect = match_count(&ds.r, &ds.s, ds.window);
+        for algo in Algorithm::INDEX {
+            let cfg = RunConfig::with_threads(2).speedup(200.0);
+            let result = execute(algo, &ds, &cfg);
+            assert_eq!(result.matches, expect, "{algo}");
         }
     }
 

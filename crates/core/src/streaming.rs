@@ -42,6 +42,24 @@
 //! share: a session closes when the watermark passes `last_stamp + gap`
 //! (no future tuple can extend it) and its tuples are joined once.
 //!
+//! ## Persistent index path
+//!
+//! When the configured engine is index-based ([`Algorithm::is_index_based`])
+//! and the geometry is pane-based, the operator does not run the engine
+//! over tuples at rest at all — that would rebuild the index at every
+//! close, which defeats the entire point of the family. Instead it keeps a
+//! *persistent* [`WindowIndex`] per side (sharded by key partition for
+//! IBWJ_PART), inserting each tuple once at ingest (`index:insert`). A
+//! window close gathers the window's R tuples from the resident panes and
+//! probes the persistent S index with a timestamp-range filter, fanned out
+//! as contiguous morsel ranges over the operator's executor — safe because
+//! probing takes `&self` and the single writer only mutates between
+//! closes. Pane eviction evicts the index to the same horizon
+//! (`index:evict`), and the partitioned variant re-balances its
+//! partition→worker probe ownership from the per-close partition
+//! histogram (`index:repart`), mirroring the batch engine's LPT plan.
+//! Session geometry falls back to the generic at-rest path.
+//!
 //! ## Backpressure contract
 //!
 //! Ingress queues are bounded; `send` blocks while full. Producers are
@@ -51,15 +69,17 @@
 
 use crate::algo::Algorithm;
 use crate::config::RunConfig;
+use crate::index::part_of;
 use crate::runner::execute_on;
 use crate::windowing::{pair_multiplicity, WindowSpec};
+use iawj_common::kernel::tuple_buckets_into;
 use iawj_common::spsc::{stream_channel, RecvError, StreamReceiver, StreamSender};
-use iawj_common::{Rate, Ts, Tuple, Window};
+use iawj_common::{KernelBackend, Rate, Ts, Tuple, Window};
 use iawj_datagen::{Dataset, StreamSource};
-use iawj_exec::Executor;
+use iawj_exec::{Executor, WindowIndex};
 use iawj_obs::{
-    LogHistogram, SpanJournal, StreamTick, MARK_STREAM_BACKPRESSURE, MARK_STREAM_CLOSE,
-    MARK_STREAM_INGEST, MARK_STREAM_LATE,
+    LogHistogram, SpanJournal, StreamTick, MARK_INDEX_EVICT, MARK_INDEX_INSERT, MARK_INDEX_REPART,
+    MARK_STREAM_BACKPRESSURE, MARK_STREAM_CLOSE, MARK_STREAM_INGEST, MARK_STREAM_LATE,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
@@ -173,7 +193,8 @@ pub struct StreamReport {
     /// Total matches across all closed windows.
     pub matches: u64,
     /// Total matches recombined as `Σ M(i,j) × pair_multiplicity` (shared
-    /// pane mode and sessions; `None` when the naive per-window path ran).
+    /// pane mode and sessions; `None` when the naive per-window path or
+    /// the persistent-index path ran).
     pub matches_via_multiplicity: Option<u64>,
     /// Tuples ingested from the R side (late drops included).
     pub ingested_r: u64,
@@ -265,11 +286,168 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
+/// Persistent index state for the index-based engines over pane
+/// geometries: resident window content is indexed once at ingest and
+/// re-probed at every close instead of rebuilt per close. Probing is
+/// read-only (`&self` on [`WindowIndex`]), so a close fans morsel ranges
+/// out across the operator's executor; the single writer (the operator
+/// thread) only mutates between closes.
+struct StreamIndex {
+    /// Key-partitioned `(R, S)` sub-index pairs. IBWJ keeps one partition;
+    /// IBWJ_PART keeps [`RunConfig::index_partitions`] of them.
+    parts: Vec<(WindowIndex, WindowIndex)>,
+    /// Partition → worker probe ownership (IBWJ_PART), re-balanced by the
+    /// per-close histogram trigger.
+    assignment: Vec<usize>,
+    threads: usize,
+    kernel: KernelBackend,
+    prefetch_dist: usize,
+    repart_factor: f64,
+    /// Tuples indexed since the last `index:insert` journal mark (the
+    /// operator marks once per ingest poll, not per tuple).
+    unmarked_inserts: u64,
+}
+
+impl StreamIndex {
+    fn new(engine: Algorithm, run: &RunConfig) -> StreamIndex {
+        let p_n = if engine == Algorithm::IbwjPart {
+            run.index_partitions()
+        } else {
+            1
+        };
+        let threads = run.threads.max(1);
+        StreamIndex {
+            parts: (0..p_n)
+                .map(|_| (WindowIndex::with_capacity(64), WindowIndex::with_capacity(64)))
+                .collect(),
+            assignment: (0..p_n).map(|p| p % threads).collect(),
+            threads,
+            kernel: run.kernel.backend,
+            prefetch_dist: run.kernel.prefetch_dist.max(1),
+            repart_factor: run.index.repart_factor,
+            unmarked_inserts: 0,
+        }
+    }
+
+    fn insert(&mut self, t: Tuple, side: Side) {
+        let p = if self.parts.len() == 1 {
+            0
+        } else {
+            part_of(t.key, self.parts.len())
+        };
+        match side {
+            Side::R => self.parts[p].0.insert(t.key, t.ts),
+            Side::S => self.parts[p].1.insert(t.key, t.ts),
+        }
+        self.unmarked_inserts += 1;
+    }
+
+    /// Drop all entries with `ts < horizon` from every sub-index; returns
+    /// the number of entries evicted.
+    fn evict(&mut self, horizon: Ts) -> usize {
+        self.parts
+            .iter_mut()
+            .map(|(r, s)| r.evict_before(horizon) + s.evict_before(horizon))
+            .sum()
+    }
+
+    /// Probe a contiguous slice of window-R tuples against one S
+    /// sub-index, counting entries with ts in `[lo, hi)` — the batched
+    /// bucket-derivation + software-prefetch pipeline of the batch engines.
+    fn probe_slice(&self, idx: &WindowIndex, r: &[Tuple], lo: Ts, hi: Ts) -> u64 {
+        let mut m = 0u64;
+        let mut buckets = Vec::new();
+        for chunk in r.chunks(64) {
+            tuple_buckets_into(self.kernel, chunk, idx.mask(), &mut buckets);
+            for (i, t) in chunk.iter().enumerate() {
+                if let Some(&ahead) = buckets.get(i + self.prefetch_dist) {
+                    idx.prefetch_bucket(ahead);
+                }
+                idx.probe_range_at(buckets[i], t.key, lo, hi, |_| m += 1);
+            }
+        }
+        m
+    }
+
+    /// Join one closed window `[lo, hi)`: probe its R tuples against the
+    /// persistent S index in parallel on `exec`. For the partitioned
+    /// variant the per-partition probe histogram doubles as the cheap
+    /// rebalance trigger: when the heaviest worker's share exceeds the
+    /// ideal by `repart_factor`, ownership is recomputed with greedy LPT
+    /// (heaviest partition first, ties by index — deterministic).
+    fn close_join(
+        &mut self,
+        r: &[Tuple],
+        lo: Ts,
+        hi: Ts,
+        exec: &Executor,
+        journal: &mut SpanJournal,
+    ) -> u64 {
+        let p_n = self.parts.len();
+        let w_n = self.threads;
+        if p_n == 1 {
+            let this = &*self;
+            let idx = &this.parts[0].1;
+            let per = r.len().div_ceil(w_n).max(1);
+            return exec
+                .run(w_n, |w| {
+                    let a = (w * per).min(r.len());
+                    let b = ((w + 1) * per).min(r.len());
+                    this.probe_slice(idx, &r[a..b], lo, hi)
+                })
+                .into_iter()
+                .sum();
+        }
+        let mut by_part: Vec<Vec<Tuple>> = vec![Vec::new(); p_n];
+        for t in r {
+            by_part[part_of(t.key, p_n)].push(*t);
+        }
+        let loads: Vec<usize> = by_part.iter().map(|v| v.len()).collect();
+        let total: usize = loads.iter().sum();
+        let mut per_worker = vec![0usize; w_n];
+        for (p, &l) in loads.iter().enumerate() {
+            per_worker[self.assignment[p]] += l;
+        }
+        let worst = per_worker.iter().copied().max().unwrap_or(0);
+        if total > 0 && (worst * w_n) as f64 > total as f64 * self.repart_factor {
+            let mut order: Vec<usize> = (0..p_n).collect();
+            order.sort_by_key(|&p| (std::cmp::Reverse(loads[p]), p));
+            let mut new_load = vec![0usize; w_n];
+            let mut asg = vec![0usize; p_n];
+            for p in order {
+                let w = (0..w_n).min_by_key(|&w| (new_load[w], w)).unwrap();
+                asg[p] = w;
+                new_load[w] += loads[p];
+            }
+            if asg != self.assignment {
+                self.assignment = asg;
+                journal.mark(MARK_INDEX_REPART, Instant::now());
+            }
+        }
+        let this = &*self;
+        let by_part = &by_part;
+        exec.run(w_n, |w| {
+            let mut m = 0u64;
+            for (p, tuples) in by_part.iter().enumerate() {
+                if this.assignment[p] == w && !tuples.is_empty() {
+                    m += this.probe_slice(&this.parts[p].1, tuples, lo, hi);
+                }
+            }
+            m
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
 /// The long-running streaming join operator. See the module docs.
 pub struct StreamingJoin {
     cfg: StreamConfig,
     geo: Geo,
     panes: BTreeMap<u64, Pane>,
+    /// Persistent per-side indexes, maintained across closes when the
+    /// engine is index-based and the geometry is pane-based.
+    idx: Option<StreamIndex>,
     pairs: HashMap<(u64, u64), u64>,
     next_window: u64,
     pending_r: Vec<Tuple>,
@@ -316,15 +494,25 @@ impl StreamingJoin {
             },
             WindowSpec::Session { gap_ms } => Geo::Session { gap: gap_ms as u64 },
         };
-        let track_mult = match geo {
-            Geo::Panes { .. } => cfg.share_panes,
-            Geo::Session { .. } => true,
+        let idx = match geo {
+            Geo::Panes { .. } if cfg.engine.is_index_based() => {
+                Some(StreamIndex::new(cfg.engine, &cfg.run))
+            }
+            _ => None,
         };
+        // The index path computes per-window matches directly from the
+        // persistent index, so there are no pane-pair counts to recombine.
+        let track_mult = idx.is_none()
+            && match geo {
+                Geo::Panes { .. } => cfg.share_panes,
+                Geo::Session { .. } => true,
+            };
         let journal = SpanJournal::with_capacity(Instant::now(), cfg.run.journal_capacity);
         let exec = cfg.run.make_executor();
         StreamingJoin {
             geo,
             panes: BTreeMap::new(),
+            idx,
             pairs: HashMap::new(),
             next_window: 0,
             pending_r: Vec::new(),
@@ -408,6 +596,11 @@ impl StreamingJoin {
                 match side {
                     Side::R => pane.r.push(t),
                     Side::S => pane.s.push(t),
+                }
+                // Index engines index each tuple exactly once, here at
+                // ingest — closes re-probe, they never rebuild.
+                if let Some(ix) = self.idx.as_mut() {
+                    ix.insert(t, side);
                 }
             }
             Geo::Session { .. } => match side {
@@ -518,7 +711,23 @@ impl StreamingJoin {
         let mut matches = 0u64;
         let mut computed = 0usize;
         let mut reused = 0usize;
-        if self.cfg.share_panes {
+        if let Some(ix) = self.idx.as_mut() {
+            // Persistent-index close: gather the window's R tuples once
+            // and probe the resident S index with a ts-range filter. No
+            // per-close rebuild and no pane-pair cache — the index *is*
+            // the shared state.
+            if inputs_r > 0 && inputs_s > 0 {
+                let r: Vec<Tuple> = self
+                    .panes
+                    .range(a..b)
+                    .flat_map(|(_, p)| p.r.iter().copied())
+                    .collect();
+                let lo = start.min(Ts::MAX as u64) as Ts;
+                let hi = (start + len).min(Ts::MAX as u64) as Ts;
+                matches = ix.close_join(&r, lo, hi, &self.exec, &mut self.journal);
+                self.engine_runs += 1;
+            }
+        } else if self.cfg.share_panes {
             for i in a..b {
                 for j in a..b {
                     let (r_len, s_len) = {
@@ -579,6 +788,14 @@ impl StreamingJoin {
         let keep = ((k + 1) * slide) / g;
         self.panes = self.panes.split_off(&keep);
         self.pairs.retain(|&(i, j), _| i.min(j) >= keep);
+        // The persistent index evicts to the same horizon as the panes:
+        // everything strictly before the next window's start.
+        if let Some(ix) = self.idx.as_mut() {
+            let horizon = (keep * g).min(Ts::MAX as u64) as Ts;
+            if ix.evict(horizon) > 0 {
+                self.journal.mark(MARK_INDEX_EVICT, Instant::now());
+            }
+        }
         self.emit_window(
             Window {
                 start: start as Ts,
@@ -702,6 +919,14 @@ impl StreamingJoin {
             }
             if got > 0 {
                 self.journal.mark(MARK_STREAM_INGEST, Instant::now());
+            }
+            // One index:insert mark per poll that indexed anything (a
+            // per-tuple mark would swamp the journal).
+            if let Some(ix) = self.idx.as_mut() {
+                if ix.unmarked_inserts > 0 {
+                    ix.unmarked_inserts = 0;
+                    self.journal.mark(MARK_INDEX_INSERT, Instant::now());
+                }
             }
             peak_queue = peak_queue.max(rx_r.len()).max(rx_s.len());
             let bp = rx_r.blocked_sends() + rx_s.blocked_sends();
@@ -1038,6 +1263,100 @@ mod tests {
         let spawn = run_replay(mk(ExecMode::Spawn), r, s, 32);
         assert_eq!(stream_counts(&pool), stream_counts(&spawn));
         assert_eq!(pool.matches, spawn.matches);
+    }
+
+    #[test]
+    fn lateness_larger_than_first_timestamps_drops_nothing() {
+        // Regression: the watermark is `max_ts - allowed_lateness_ms`
+        // computed with saturating_sub. An allowed lateness larger than
+        // the earliest timestamps must clamp the watermark to 0 — a
+        // wrapping subtraction would put it near u64::MAX and mark every
+        // early tuple late.
+        let r = stream(100, 6, 300, 19);
+        let s = stream(100, 6, 300, 20);
+        let spec = WindowSpec::Tumbling { len_ms: 100 };
+        let report = run_replay(cfg(spec).lateness(10_000), r.clone(), s.clone(), 16);
+        assert_eq!(report.late_dropped, 0);
+        assert_eq!(report.count_marks(MARK_STREAM_LATE), 0);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s));
+    }
+
+    #[test]
+    fn index_engines_maintain_state_across_closes() {
+        // The persistent-index path must reproduce the batch oracle over
+        // overlapping sliding windows while indexing each tuple once at
+        // ingest and evicting with the panes.
+        let spec = WindowSpec::Sliding {
+            len_ms: 300,
+            slide_ms: 100,
+        };
+        let r = stream(300, 8, 900, 23);
+        let s = stream(300, 8, 900, 24);
+        let expect = batch_counts(spec, &r, &s);
+        for engine in [Algorithm::Ibwj, Algorithm::IbwjPart] {
+            let sc = StreamConfig::new(spec, engine)
+                .run_config(RunConfig::with_threads(2))
+                .tick_every_ms(0.0);
+            let report = run_replay(sc, r.clone(), s.clone(), 32);
+            assert_eq!(stream_counts(&report), expect, "{engine}");
+            assert!(report.count_marks(MARK_INDEX_INSERT) >= 1, "{engine}");
+            assert!(report.count_marks(MARK_INDEX_EVICT) >= 1, "{engine}");
+            // No pane-pair recombination on this path.
+            assert_eq!(report.matches_via_multiplicity, None, "{engine}");
+            let probed = report
+                .windows
+                .iter()
+                .filter(|w| w.inputs_r > 0 && w.inputs_s > 0)
+                .count() as u64;
+            assert_eq!(report.engine_runs, probed, "{engine}");
+        }
+    }
+
+    #[test]
+    fn index_engines_tolerate_bounded_out_of_order_arrival() {
+        let r = stream(200, 8, 600, 25);
+        let s = stream(200, 8, 600, 26);
+        let spec = WindowSpec::Sliding {
+            len_ms: 200,
+            slide_ms: 100,
+        };
+        let jr = iawj_datagen::jitter_arrival_order(&r, 50, 31);
+        let js = iawj_datagen::jitter_arrival_order(&s, 50, 32);
+        for engine in [Algorithm::Ibwj, Algorithm::IbwjPart] {
+            let sc = StreamConfig::new(spec, engine)
+                .run_config(RunConfig::with_threads(2))
+                .tick_every_ms(0.0)
+                .lateness(50);
+            let report = run_replay(sc, jr.clone(), js.clone(), 32);
+            assert_eq!(report.late_dropped, 0, "{engine}");
+            assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s), "{engine}");
+        }
+    }
+
+    #[test]
+    fn partitioned_index_rebalances_under_skew() {
+        // 90% of the probe side on one key concentrates one sub-index
+        // partition; the histogram trigger must fire and re-balance
+        // partition ownership without changing the match set.
+        let mut rng = Rng::new(27);
+        let mut r: Vec<Tuple> = (0..400)
+            .map(|i| {
+                let key = if i % 10 == 0 { rng.next_u32() % 64 } else { 7 };
+                Tuple::new(key, rng.below(600) as u32)
+            })
+            .collect();
+        r.sort_unstable_by_key(|t| t.ts);
+        let s = stream(400, 64, 600, 28);
+        let spec = WindowSpec::Tumbling { len_ms: 200 };
+        let sc = StreamConfig::new(spec, Algorithm::IbwjPart)
+            .run_config(RunConfig::with_threads(2))
+            .tick_every_ms(0.0);
+        let report = run_replay(sc, r.clone(), s.clone(), 32);
+        assert_eq!(stream_counts(&report), batch_counts(spec, &r, &s));
+        assert!(
+            report.count_marks(MARK_INDEX_REPART) >= 1,
+            "skewed probe load never triggered a repartition"
+        );
     }
 
     #[test]

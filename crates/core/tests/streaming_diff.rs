@@ -18,6 +18,11 @@ const ENGINES: &[Algorithm] = &[
     Algorithm::Prj,
     Algorithm::MWay,
     Algorithm::Handshake,
+    // Index engines take the persistent-index close path on pane
+    // geometries and the generic at-rest path on sessions — both must
+    // reproduce the oracle window-for-window.
+    Algorithm::Ibwj,
+    Algorithm::IbwjPart,
 ];
 
 const SPECS: &[WindowSpec] = &[
@@ -141,6 +146,29 @@ fn streaming_matches_batch_oracle_out_of_order() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn late_tuples_never_reach_the_persistent_index() {
+    // A tuple behind the watermark is dropped before it can be indexed:
+    // the index engines must agree with the oracle computed over the
+    // punctual tuples alone, and count exactly the injected stragglers.
+    let (r, s) = streams(200, 600, 0.4, 41);
+    let spec = WindowSpec::Tumbling { len_ms: 150 };
+    for &engine in &[Algorithm::Ibwj, Algorithm::IbwjPart] {
+        let mut arrival_r = r.clone();
+        arrival_r.push(Tuple::new(3, 0)); // arrives last, ~600 ms stale
+        let run = RunConfig::with_threads(2);
+        let oracle = execute_windowed(engine, &r, &s, spec, &run);
+        let cfg = StreamConfig::new(spec, engine)
+            .run_config(run)
+            .tick_every_ms(0.0);
+        let report = run_replay(cfg, arrival_r, s.clone(), 64);
+        assert_eq!(report.late_dropped, 1, "{engine}");
+        let got: Vec<u64> = report.windows.iter().map(|w| w.matches).collect();
+        let want: Vec<u64> = oracle.iter().map(|w| w.result.matches).collect();
+        assert_eq!(got, want, "{engine}: late tuple leaked into the index");
     }
 }
 

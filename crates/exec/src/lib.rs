@@ -30,6 +30,8 @@
 //!   and SHJ.
 //! - [`swwc`] — software write-combining scatter buffers and the cachesim
 //!   A/B harness validating their miss reduction (Fig. 18 / Table 5).
+//! - [`window_index`] — the evictable hash index over resident window
+//!   content that backs the IBWJ engine family.
 
 pub mod executor;
 pub mod hashtable;
@@ -43,6 +45,7 @@ pub mod sort;
 pub mod swwc;
 pub mod timer;
 pub mod topology;
+pub mod window_index;
 
 pub use executor::{ExecMode, Executor};
 pub use hashtable::{LocalTable, LockFreeTable, NpjTable, SharedTable, StripedTable};
@@ -55,3 +58,4 @@ pub use timer::{
     cpu_clock, ns_to_cycles, ClockSource, CpuClock, PhaseTimer, TimerParts, NOMINAL_GHZ,
 };
 pub use topology::{affinity_core_count, affinity_mask, CoreInfo, CpuSet, PinPolicy, Topology};
+pub use window_index::WindowIndex;

@@ -40,12 +40,18 @@ pub enum Verdict {
     P99Regressed,
     /// Both limits blown.
     BothRegressed,
+    /// The baseline carries no usable throughput for this key (zero,
+    /// negative, or non-finite — e.g. a placeholder row committed before
+    /// the configuration first produced numbers). There is nothing to
+    /// regress against, so this never fails; it reports the configuration
+    /// as effectively new.
+    NewConfig,
 }
 
 impl Verdict {
     /// Does this verdict fail the diff?
     pub fn failed(self) -> bool {
-        self != Verdict::Ok
+        !matches!(self, Verdict::Ok | Verdict::NewConfig)
     }
 
     fn label(self) -> &'static str {
@@ -54,6 +60,7 @@ impl Verdict {
             Verdict::TptRegressed => "TPT REGRESSED",
             Verdict::P99Regressed => "P99 REGRESSED",
             Verdict::BothRegressed => "TPT+P99 REGRESSED",
+            Verdict::NewConfig => "new config (no baseline)",
         }
     }
 }
@@ -173,6 +180,21 @@ fn rel_change(old: f64, new: f64) -> f64 {
 }
 
 fn classify(old: &RunSnapshot, new: &RunSnapshot, th: &DiffThresholds) -> RunDiff {
+    // A baseline row without a positive finite throughput (zero, NaN, ∞)
+    // has nothing to divide by: report "new config" rather than a NaN/∞
+    // change or a spurious +0.0% ok.
+    if !(old.throughput_tpms.is_finite() && old.throughput_tpms > 0.0) {
+        return RunDiff {
+            key: new.key(),
+            old_tpt: old.throughput_tpms,
+            new_tpt: new.throughput_tpms,
+            tpt_change: 0.0,
+            old_p99: old.latency_p99_ms,
+            new_p99: new.latency_p99_ms,
+            p99_change: None,
+            verdict: Verdict::NewConfig,
+        };
+    }
     let tpt_change = rel_change(old.throughput_tpms, new.throughput_tpms);
     let (old_p99, new_p99, p99_change) = match (old.latency_p99_ms, new.latency_p99_ms) {
         (Some(o), Some(n)) => (Some(o), Some(n), Some(rel_change(o, n))),
@@ -349,6 +371,33 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("only in old snapshot"));
         assert!(rendered.contains("only in new snapshot"));
+    }
+
+    #[test]
+    fn zero_or_unusable_baseline_reports_new_config_not_regression() {
+        for bad_tpt in [0.0f64, -1.0, f64::NAN, f64::INFINITY] {
+            let old = snap("aaa", vec![run("IBWJ", bad_tpt, None)]);
+            let new = snap("bbb", vec![run("IBWJ", 1234.0, Some(2.0))]);
+            let report = diff(&old, &new, DiffThresholds::default());
+            assert!(
+                !report.regressed(),
+                "baseline tpt={bad_tpt} must not fail the diff"
+            );
+            assert_eq!(report.rows[0].verdict, Verdict::NewConfig);
+            assert!(!report.rows[0].verdict.failed());
+            assert!(
+                report.rows[0].tpt_change.is_finite(),
+                "no NaN/∞ change for tpt={bad_tpt}"
+            );
+            let rendered = report.render();
+            assert!(rendered.contains("new config"), "{rendered}");
+            assert!(rendered.contains("OK: 1 configuration"), "{rendered}");
+        }
+        // A zero baseline with a *worse* new value still cannot regress:
+        // there was never a number to regress from.
+        let old = snap("aaa", vec![run("IBWJ", 0.0, None)]);
+        let new = snap("bbb", vec![run("IBWJ", 0.0, None)]);
+        assert!(!diff(&old, &new, DiffThresholds::default()).regressed());
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub const MARK_EXEC_PARK: &str = "exec:park";
 /// denied, so the worker runs wherever the OS puts it.
 pub const MARK_EXEC_UNPINNED: &str = "exec:unpinned";
 
+/// Journal mark recorded once per batch of arrivals inserted into a
+/// resident window index by the IBWJ engine family.
+pub const MARK_INDEX_INSERT: &str = "index:insert";
+
+/// Journal mark recorded once per eviction sweep that unlinked expired
+/// entries from a resident window index.
+pub const MARK_INDEX_EVICT: &str = "index:evict";
+
+/// Journal mark recorded once per histogram-triggered repartitioning of
+/// the partitioned index engine (IBWJ_PART's adaptive rebalance).
+pub const MARK_INDEX_REPART: &str = "index:repart";
+
 /// One closed interval of work attributed to a named phase or activity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {

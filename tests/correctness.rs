@@ -133,6 +133,49 @@ fn differential_all_engines_across_skew_threads_schedulers() {
     }
 }
 
+/// The index-engine differential harness guarding engines 9+: IBWJ and
+/// IBWJ_PART against the nested-loop oracle over seed × Zipf key skew ×
+/// thread count × scheduler × executor mode, asserting the exact sorted
+/// match set. θ=0.99 concentrates one key-hash partition, which is what
+/// actually forces IBWJ_PART's histogram-driven LPT repartition between
+/// epochs; the eager drive interleaves R/S batches, exercising the
+/// insert-then-probe exactly-once argument on both engines.
+#[test]
+fn differential_index_engines_across_skew_threads_schedulers() {
+    use iawj_study::core::ExecMode;
+    for seed in [91u64, 92] {
+        for theta in [0.0f64, 0.99] {
+            let ds = MicroSpec::static_counts(600, 600)
+                .dupe(6)
+                .skew_key(theta)
+                .seed(seed)
+                .generate();
+            let expect = nested_loop_join(&ds.r, &ds.s, ds.window);
+            for threads in [1usize, 4] {
+                for sched in Scheduler::ALL {
+                    for mode in [ExecMode::Pool, ExecMode::Spawn] {
+                        for algo in Algorithm::INDEX {
+                            let cfg = RunConfig::with_threads(threads)
+                                .record_all()
+                                .speedup(500.0)
+                                .scheduler(sched)
+                                .morsel_size(64)
+                                .executor(mode);
+                            let result = execute(algo, &ds, &cfg);
+                            assert_eq!(
+                                canonical(&result),
+                                expect,
+                                "{algo} diverged (seed={seed} θ={theta} \
+                                 threads={threads} scheduler={sched} exec={mode:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The latched-vs-lock-free differential harness guarding the NPJ table
 /// variants: both table modes against the nested-loop oracle over seed ×
 /// Zipf key skew × thread count × scheduler, asserting the exact sorted
